@@ -1,0 +1,127 @@
+//! One Criterion benchmark per paper artefact.
+//!
+//! Each benchmark regenerates (a reduced-size version of) the
+//! corresponding table or figure, so `cargo bench` both times the
+//! pipelines and proves they still run end to end. Reduced sizes keep
+//! the suite's wall-clock reasonable; the `repro` binary runs the
+//! full-size versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uniserver_bench::experiments;
+use uniserver_faultinject::SdcCampaign;
+use uniserver_hypervisor::protect::ProtectionPolicy;
+use uniserver_platform::dram::MemorySystem;
+use uniserver_platform::part::PartSpec;
+use uniserver_platform::workload::WorkloadProfile;
+use uniserver_stress::campaign::{RefreshSweep, ShmooCampaign, Table2Summary};
+use uniserver_units::Seconds;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_guardband_measurement", |b| {
+        b.iter(|| black_box(experiments::table1(black_box(1))));
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_undervolt_shmoo");
+    g.sample_size(10);
+    // Reduced: one benchmark, one run, the 2-core part.
+    let campaign = ShmooCampaign {
+        dwell: Seconds::from_millis(200.0),
+        runs: 1,
+        ..ShmooCampaign::paper_methodology()
+    };
+    let suite = vec![WorkloadProfile::spec_bzip2(), WorkloadProfile::spec_zeusmp()];
+    g.bench_function("i5_reduced", |b| {
+        b.iter(|| {
+            let shmoo = campaign.run(&PartSpec::i5_4200u(), black_box(7), &suite);
+            black_box(Table2Summary::from_shmoo(&shmoo))
+        });
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_tco_stack", |b| {
+        b.iter(|| black_box(experiments::table3()));
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_binning_2k_chips", |b| {
+        b.iter(|| black_box(experiments::fig1_report(black_box(3), 2_000)));
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_ecosystem_lifecycle");
+    g.sample_size(10);
+    g.bench_function("deploy_and_serve", |b| {
+        b.iter(|| black_box(experiments::fig2(black_box(5))));
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_hypervisor_footprint");
+    g.sample_size(10);
+    g.bench_function("series_24_samples", |b| {
+        b.iter(|| black_box(experiments::fig3_series(black_box(5), 24, Seconds::new(10.0))));
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fault_injection");
+    g.sample_size(10);
+    let reduced = SdcCampaign { executions_per_object: 1, ..SdcCampaign::paper_campaign() };
+    g.bench_function("one_execution_per_object", |b| {
+        b.iter(|| black_box(reduced.run(&ProtectionPolicy::none())));
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_refresh_sweep");
+    g.sample_size(10);
+    let sweep = RefreshSweep { passes: 1, ..RefreshSweep::paper_sweep() };
+    g.bench_function("nine_point_sweep", |b| {
+        b.iter(|| {
+            let mut memory = MemorySystem::commodity_server(false);
+            black_box(sweep.run(&mut memory, 3, black_box(11)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_edge(c: &mut Criterion) {
+    c.bench_function("edge_latency_analysis", |b| {
+        b.iter(|| black_box(experiments::edge()));
+    });
+}
+
+fn bench_cloud(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloud_proactive_migration");
+    g.sample_size(10);
+    g.bench_function("four_node_scenario", |b| {
+        b.iter(|| black_box(experiments::cloud(black_box(9))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments_benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_dram,
+    bench_edge,
+    bench_cloud,
+);
+criterion_main!(experiments_benches);

@@ -1,0 +1,84 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [table1|table2|table3|fig1|fig2|fig3|fig4|dram|edge|cloud|margins|compare|validate|all] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use uniserver_bench::experiments;
+
+const ARTEFACTS: [&str; 12] = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "dram", "edge", "cloud",
+    "margins", "compare",
+];
+
+/// Runs the validation scoreboard; returns success.
+fn run_validate(seed: u64) -> bool {
+    let (report, ok) = experiments::validate(seed);
+    println!("{report}");
+    ok
+}
+
+fn run_one(name: &str, seed: u64) -> Option<String> {
+    let report = match name {
+        "table1" => experiments::table1(seed),
+        "table2" => experiments::table2(seed),
+        "table3" => experiments::table3(),
+        "fig1" => experiments::fig1(seed),
+        "fig2" => experiments::fig2(seed),
+        "fig3" => experiments::fig3(seed),
+        "fig4" => experiments::fig4(seed),
+        "dram" => experiments::dram(seed),
+        "edge" => experiments::edge(),
+        "cloud" => experiments::cloud(seed),
+        "margins" => experiments::margins(seed),
+        "compare" => experiments::compare(seed),
+        _ => return None,
+    };
+    Some(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2018u64; // the paper's venue year, for determinism
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => targets.extend(ARTEFACTS.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [{}|all] [--seed N]", ARTEFACTS.join("|"));
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "validate") {
+        return if run_validate(seed) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    for (i, name) in targets.iter().enumerate() {
+        match run_one(name, seed) {
+            Some(report) => {
+                if i > 0 {
+                    println!();
+                }
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown artefact '{name}'; expected one of {ARTEFACTS:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

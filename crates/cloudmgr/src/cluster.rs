@@ -1,0 +1,385 @@
+//! The cluster driver: streams of VMs, reliability-aware placement and
+//! proactive migration off failing nodes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::{Joules, Seconds};
+
+use uniserver_hypervisor::vm::{VmConfig, VmId};
+use uniserver_platform::part::PartSpec;
+
+use crate::failure::FailurePredictor;
+use crate::migrate::MigrationModel;
+use crate::node::{ManagedNode, NodeId};
+use crate::scheduler::Scheduler;
+use crate::sla::SlaClass;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Part every node is built from.
+    pub spec: PartSpec,
+    /// Placement policy.
+    pub scheduler: Scheduler,
+    /// Migration network model.
+    pub migration: MigrationModel,
+}
+
+impl ClusterConfig {
+    /// A small Edge site: `n` ARM micro-servers behind one switch.
+    #[must_use]
+    pub fn small_edge_site(n: usize) -> Self {
+        ClusterConfig {
+            nodes: n,
+            spec: PartSpec::arm_microserver(),
+            scheduler: Scheduler::default(),
+            migration: MigrationModel::ten_gbe(),
+        }
+    }
+}
+
+/// One tracked placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Node currently hosting the VM.
+    pub node: NodeId,
+    /// VM id on that node.
+    pub vm: VmId,
+    /// SLA class of the workload.
+    pub class: SlaClass,
+}
+
+/// Aggregated fleet statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Mean node availability.
+    pub mean_availability: f64,
+    /// Mean node utilization.
+    pub mean_utilization: f64,
+    /// Total energy consumed.
+    pub total_energy: Joules,
+    /// Proactive migrations performed.
+    pub migrations: u64,
+    /// Cumulative migration blackout across all moves.
+    pub migration_downtime: Seconds,
+    /// Placement requests rejected (no feasible node).
+    pub rejected: u64,
+}
+
+/// The cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<ManagedNode>,
+    scheduler: Scheduler,
+    predictor: FailurePredictor,
+    migration: MigrationModel,
+    placements: Vec<Placement>,
+    migrations: u64,
+    migration_downtime: Seconds,
+    rejected: u64,
+}
+
+impl Cluster {
+    /// Provisions a cluster; node chips are manufactured from
+    /// `seed`, `seed+1`, … so every node is a *different* chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes.
+    #[must_use]
+    pub fn build(config: &ClusterConfig, seed: u64) -> Self {
+        assert!(config.nodes > 0, "a cluster needs nodes");
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                ManagedNode::provision(NodeId(i as u32), config.spec.clone(), seed + i as u64)
+            })
+            .collect();
+        Cluster {
+            nodes,
+            scheduler: config.scheduler,
+            predictor: FailurePredictor::new(),
+            migration: config.migration,
+            placements: Vec::new(),
+            migrations: 0,
+            migration_downtime: Seconds::ZERO,
+            rejected: 0,
+        }
+    }
+
+    /// The nodes (read-only).
+    #[must_use]
+    pub fn nodes(&self) -> &[ManagedNode] {
+        &self.nodes
+    }
+
+    /// Mutable node access, for experiments that degrade specific nodes.
+    pub fn nodes_mut(&mut self) -> &mut [ManagedNode] {
+        &mut self.nodes
+    }
+
+    /// Current placements.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Submits a VM request; returns its placement if a node was found.
+    pub fn submit(&mut self, config: VmConfig, class: SlaClass) -> Option<Placement> {
+        let Some(target) = self.scheduler.place(self.nodes.iter(), &config, class) else {
+            self.rejected += 1;
+            return None;
+        };
+        let node = self.node_mut(target);
+        match node.launch(config) {
+            Ok(vm) => {
+                let placement = Placement { node: target, vm, class };
+                self.placements.push(placement.clone());
+                Some(placement)
+            }
+            Err(_) => {
+                self.rejected += 1;
+                None
+            }
+        }
+    }
+
+    /// Advances the whole cluster by one interval: ticks every node,
+    /// refreshes reliability scores, and proactively migrates protected
+    /// workloads off nodes predicted to fail.
+    pub fn tick(&mut self, duration: Seconds) {
+        for node in &mut self.nodes {
+            node.tick(duration);
+        }
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id.0;
+            let r = self.predictor.update_node(id, self.nodes[i].hypervisor.health());
+            self.nodes[i].reliability = r;
+        }
+        self.proactive_migrations();
+    }
+
+    /// Moves Gold/Silver VMs off nodes whose predicted reliability has
+    /// collapsed.
+    fn proactive_migrations(&mut self) {
+        let failing: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| self.predictor.predicts_failure(n.reliability))
+            .map(|n| n.id)
+            .collect();
+        if failing.is_empty() {
+            return;
+        }
+        let mut moves: Vec<(usize, Placement)> = Vec::new();
+        for (idx, placement) in self.placements.iter().enumerate() {
+            if failing.contains(&placement.node) && placement.class.proactive_migration() {
+                moves.push((idx, placement.clone()));
+            }
+        }
+        // Process moves back-to-front so indices stay valid.
+        for (idx, placement) in moves.into_iter().rev() {
+            let (config, cost) = {
+                let node = self.node_ref(placement.node);
+                let Some(vm) = node.hypervisor.vm(placement.vm) else { continue };
+                if !vm.is_running() {
+                    continue;
+                }
+                (vm.config.clone(), self.migration.cost(vm))
+            };
+            let target = self
+                .scheduler
+                .place(
+                    self.nodes.iter().filter(|n| n.id != placement.node),
+                    &config,
+                    placement.class,
+                )
+                .filter(|t| *t != placement.node);
+            let Some(target) = target else { continue };
+
+            // Stop on the failing source, start on the healthy target.
+            self.node_mut(placement.node).hypervisor.stop_vm(placement.vm);
+            if let Ok(new_vm) = self.node_mut(target).launch(config) {
+                self.placements[idx] = Placement { node: target, vm: new_vm, class: placement.class };
+                self.migrations += 1;
+                self.migration_downtime = self.migration_downtime + cost.downtime;
+            }
+        }
+    }
+
+    /// Terminates a tracked placement (the VM's lifetime ended).
+    /// Returns false when the placement is no longer tracked (e.g. its
+    /// record was replaced during a migration race).
+    pub fn terminate(&mut self, placement: &Placement) -> bool {
+        let Some(idx) = self
+            .placements
+            .iter()
+            .position(|p| p.node == placement.node && p.vm == placement.vm)
+        else {
+            return false;
+        };
+        let record = self.placements.swap_remove(idx);
+        let node = self.node_mut(record.node);
+        if node.hypervisor.vm(record.vm).is_some() {
+            node.hypervisor.stop_vm(record.vm);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Aggregated fleet metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no nodes (cannot happen after `build`).
+    #[must_use]
+    pub fn fleet_metrics(&self) -> FleetMetrics {
+        assert!(!self.nodes.is_empty(), "empty cluster");
+        let n = self.nodes.len() as f64;
+        let mut availability = 0.0;
+        let mut utilization = 0.0;
+        let mut energy = Joules::ZERO;
+        for node in &self.nodes {
+            let m = node.metrics();
+            availability += m.availability / n;
+            utilization += m.utilization / n;
+            energy = energy + m.energy;
+        }
+        FleetMetrics {
+            mean_availability: availability,
+            mean_utilization: utilization,
+            total_energy: energy,
+            migrations: self.migrations,
+            migration_downtime: self.migration_downtime,
+            rejected: self.rejected,
+        }
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut ManagedNode {
+        self.nodes.iter_mut().find(|n| n.id == id).expect("node ids are dense")
+    }
+
+    fn node_ref(&self, id: NodeId) -> &ManagedNode {
+        self.nodes.iter().find(|n| n.id == id).expect("node ids are dense")
+    }
+
+    /// Placement histogram per node, for load-balance assertions.
+    #[must_use]
+    pub fn placements_per_node(&self) -> HashMap<NodeId, usize> {
+        let mut map = HashMap::new();
+        for p in &self.placements {
+            *map.entry(p.node).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_platform::msr::DomainId;
+
+    #[test]
+    fn submissions_spread_across_nodes() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(4), 100);
+        for _ in 0..8 {
+            assert!(cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Silver).is_some());
+        }
+        let per_node = cluster.placements_per_node();
+        assert_eq!(per_node.values().sum::<usize>(), 8);
+        assert!(per_node.len() >= 3, "placements should spread, got {per_node:?}");
+    }
+
+    #[test]
+    fn saturated_cluster_rejects() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(1), 100);
+        let mut accepted = 0;
+        for _ in 0..6 {
+            if cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Bronze).is_some() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4, "one 16 GiB relaxed domain fits four 4 GiB guests");
+        assert_eq!(cluster.fleet_metrics().rejected, 2);
+    }
+
+    #[test]
+    fn healthy_cluster_runs_without_migrations() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Gold);
+        for _ in 0..30 {
+            cluster.tick(Seconds::new(1.0));
+        }
+        let m = cluster.fleet_metrics();
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.mean_availability, 1.0);
+        assert!(m.total_energy.as_joules() > 0.0);
+    }
+
+    #[test]
+    fn failing_node_triggers_proactive_migration_of_gold() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        let gold =
+            cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Gold).expect("placed");
+        let bronze_cfg = VmConfig { name: "batch".into(), ..VmConfig::ldbc_benchmark() };
+        let bronze = cluster.submit(bronze_cfg, SlaClass::Bronze).expect("placed");
+
+        // Degrade both hosting nodes' relaxed DRAM domain so their logs
+        // fill with corrected errors and reliability collapses.
+        for id in [gold.node, bronze.node] {
+            let node =
+                cluster.nodes_mut().iter_mut().find(|n| n.id == id).expect("node exists");
+            node.hypervisor
+                .node_mut()
+                .msr
+                .set_refresh_interval(DomainId(1), Seconds::new(10.0))
+                .unwrap();
+        }
+
+        for _ in 0..60 {
+            cluster.tick(Seconds::new(2.0));
+            if cluster.fleet_metrics().migrations > 0 {
+                break;
+            }
+        }
+        let m = cluster.fleet_metrics();
+        assert!(m.migrations >= 1, "gold VM should have been migrated");
+        let gold_now = cluster
+            .placements()
+            .iter()
+            .find(|p| p.class == SlaClass::Gold)
+            .expect("gold placement tracked");
+        assert_ne!(gold_now.node, gold.node, "gold VM left the degraded node");
+        let bronze_now = cluster
+            .placements()
+            .iter()
+            .find(|p| p.class == SlaClass::Bronze)
+            .expect("bronze placement tracked");
+        assert_eq!(bronze_now.node, bronze.node, "bronze stays (no proactive migration)");
+        assert!(m.migration_downtime.as_secs() < 1.0, "pre-copy keeps blackout sub-second");
+    }
+
+    #[test]
+    fn build_is_deterministic_but_nodes_differ() {
+        let a = Cluster::build(&ClusterConfig::small_edge_site(2), 5);
+        let b = Cluster::build(&ClusterConfig::small_edge_site(2), 5);
+        assert_eq!(
+            a.nodes()[0].hypervisor.node().chip().speed_factor,
+            b.nodes()[0].hypervisor.node().chip().speed_factor
+        );
+        assert_ne!(
+            a.nodes()[0].hypervisor.node().chip().speed_factor,
+            a.nodes()[1].hypervisor.node().chip().speed_factor,
+            "every node is a different manufactured chip"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs nodes")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::build(&ClusterConfig::small_edge_site(0), 1);
+    }
+}

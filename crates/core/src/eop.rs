@@ -1,0 +1,142 @@
+//! Extended Operating Points: the V-F-R tuples UniServer reveals.
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::Seconds;
+
+use uniserver_stresslog::MarginVector;
+
+/// Where the ecosystem is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EopPhase {
+    /// Initial stress testing; the machine is not serving yet.
+    PreDeployment,
+    /// Serving at an EOP.
+    Deployed,
+    /// Temporarily offline for re-characterization.
+    Recharacterizing,
+}
+
+/// One concrete V-F-R operating point for a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Per-core undervolt offsets in millivolts below nominal.
+    pub core_offsets_mv: Vec<f64>,
+    /// Refresh interval for the relaxed memory domain.
+    pub relaxed_refresh: Seconds,
+    /// Free-text provenance (which margins/advice produced it).
+    pub provenance: String,
+}
+
+impl OperatingPoint {
+    /// The conservative point: no undervolt, nominal refresh.
+    #[must_use]
+    pub fn nominal(cores: usize) -> Self {
+        OperatingPoint {
+            core_offsets_mv: vec![0.0; cores],
+            relaxed_refresh: Seconds::from_millis(64.0),
+            provenance: "nominal (conservative guard-bands)".into(),
+        }
+    }
+
+    /// Derives an EOP from a StressLog margin vector, optionally scaled
+    /// back towards nominal (`aggressiveness` 1.0 = the full measured
+    /// margin, 0.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressiveness` is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_margins(margins: &MarginVector, aggressiveness: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&aggressiveness),
+            "aggressiveness must be in [0, 1], got {aggressiveness}"
+        );
+        let nominal_refresh = 0.064;
+        let refresh = nominal_refresh
+            + (margins.safe_refresh.as_secs() - nominal_refresh).max(0.0) * aggressiveness;
+        OperatingPoint {
+            core_offsets_mv: margins
+                .per_core_safe_offset_mv
+                .iter()
+                .map(|mv| mv * aggressiveness)
+                .collect(),
+            relaxed_refresh: Seconds::new(refresh),
+            provenance: format!(
+                "stresslog margins @ t={:.0}s, aggressiveness {:.2}",
+                margins.produced_at.as_secs(),
+                aggressiveness
+            ),
+        }
+    }
+
+    /// The weakest-core offset of the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point covers no cores.
+    #[must_use]
+    pub fn min_offset_mv(&self) -> f64 {
+        assert!(!self.core_offsets_mv.is_empty(), "empty operating point");
+        self.core_offsets_mv.iter().cloned().fold(f64::MAX, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_stress::campaign::Table2Summary;
+
+    fn margins() -> MarginVector {
+        MarginVector {
+            produced_at: Seconds::new(100.0),
+            part_name: "test part".into(),
+            per_core_safe_offset_mv: vec![80.0, 95.0, 70.0],
+            safe_refresh: Seconds::new(1.2),
+            summary: Table2Summary {
+                part_name: "test part".into(),
+                crash_min_pct: 10.0,
+                crash_max_pct: 11.0,
+                core_var_min_pct: 0.5,
+                core_var_max_pct: 2.0,
+                cache_ce_min: None,
+                cache_ce_max: None,
+                mean_ce_window_mv: None,
+            },
+        }
+    }
+
+    #[test]
+    fn nominal_point_is_conservative() {
+        let p = OperatingPoint::nominal(4);
+        assert_eq!(p.core_offsets_mv, vec![0.0; 4]);
+        assert_eq!(p.relaxed_refresh, Seconds::from_millis(64.0));
+    }
+
+    #[test]
+    fn full_aggressiveness_uses_the_margins() {
+        let p = OperatingPoint::from_margins(&margins(), 1.0);
+        assert_eq!(p.core_offsets_mv, vec![80.0, 95.0, 70.0]);
+        assert_eq!(p.relaxed_refresh, Seconds::new(1.2));
+        assert_eq!(p.min_offset_mv(), 70.0);
+    }
+
+    #[test]
+    fn zero_aggressiveness_is_nominal() {
+        let p = OperatingPoint::from_margins(&margins(), 0.0);
+        assert!(p.core_offsets_mv.iter().all(|&mv| mv == 0.0));
+        assert!((p.relaxed_refresh.as_millis() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_aggressiveness_interpolates() {
+        let p = OperatingPoint::from_margins(&margins(), 0.5);
+        assert_eq!(p.core_offsets_mv[0], 40.0);
+        assert!((p.relaxed_refresh.as_secs() - (0.064 + 0.568)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggressiveness")]
+    fn invalid_aggressiveness_panics() {
+        let _ = OperatingPoint::from_margins(&margins(), 1.5);
+    }
+}

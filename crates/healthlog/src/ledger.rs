@@ -1,0 +1,170 @@
+//! Per-origin error accounting.
+//!
+//! The hypervisor isolates "problematic processing and memory resources
+//! experiencing high error rates, as reported by the HealthLog" (§4.A).
+//! The ledger is the data structure behind that report: lifetime
+//! corrected/uncorrected counts per physical origin.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use uniserver_platform::mca::{ErrorOrigin, MceRecord};
+use uniserver_silicon::ErrorSeverity;
+
+/// Aggregated error counts for one origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OriginStats {
+    /// Corrected errors attributed to the origin.
+    pub corrected: u64,
+    /// Uncorrected errors attributed to the origin.
+    pub uncorrected: u64,
+    /// Fatal events attributed to the origin.
+    pub fatal: u64,
+}
+
+impl OriginStats {
+    /// Total error count regardless of severity.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.corrected + self.uncorrected + self.fatal
+    }
+}
+
+/// Ledger origins are coarsened so DIMM word addresses collapse onto the
+/// DIMM (isolation happens at resource granularity, not per word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LedgerKey {
+    /// A CPU core.
+    Core(usize),
+    /// A cache bank.
+    CacheBank(usize),
+    /// A DIMM.
+    Dimm(usize),
+}
+
+impl LedgerKey {
+    /// Coarsens a machine-check origin onto a ledger key.
+    #[must_use]
+    pub fn from_origin(origin: ErrorOrigin) -> Self {
+        match origin {
+            ErrorOrigin::Core(c) => LedgerKey::Core(c),
+            ErrorOrigin::CacheBank(b) => LedgerKey::CacheBank(b),
+            ErrorOrigin::Dimm { dimm, .. } => LedgerKey::Dimm(dimm),
+        }
+    }
+}
+
+impl std::fmt::Display for LedgerKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerKey::Core(c) => write!(f, "core{c}"),
+            LedgerKey::CacheBank(b) => write!(f, "l3bank{b}"),
+            LedgerKey::Dimm(d) => write!(f, "dimm{d}"),
+        }
+    }
+}
+
+/// The per-origin error ledger.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorLedger {
+    stats: HashMap<LedgerKey, OriginStats>,
+}
+
+impl ErrorLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        ErrorLedger::default()
+    }
+
+    /// Records one machine-check record.
+    pub fn record(&mut self, rec: &MceRecord) {
+        let entry = self.stats.entry(LedgerKey::from_origin(rec.origin)).or_default();
+        match rec.severity {
+            ErrorSeverity::Corrected => entry.corrected += 1,
+            ErrorSeverity::Uncorrected => entry.uncorrected += 1,
+            ErrorSeverity::Fatal => entry.fatal += 1,
+        }
+    }
+
+    /// Stats for one origin (zeros if never seen).
+    #[must_use]
+    pub fn stats(&self, key: LedgerKey) -> OriginStats {
+        self.stats.get(&key).copied().unwrap_or_default()
+    }
+
+    /// Origins whose total error count reaches `threshold`, sorted by
+    /// descending total — the isolation candidates.
+    #[must_use]
+    pub fn hot_origins(&self, threshold: u64) -> Vec<(LedgerKey, OriginStats)> {
+        let mut v: Vec<(LedgerKey, OriginStats)> = self
+            .stats
+            .iter()
+            .filter(|(_, s)| s.total() >= threshold)
+            .map(|(k, s)| (*k, *s))
+            .collect();
+        v.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total errors recorded across all origins.
+    #[must_use]
+    pub fn grand_total(&self) -> u64 {
+        self.stats.values().map(OriginStats::total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_platform::mca::ErrorOrigin;
+    use uniserver_silicon::FaultKind;
+    use uniserver_units::Seconds;
+
+    fn rec(origin: ErrorOrigin, severity: ErrorSeverity) -> MceRecord {
+        MceRecord { at: Seconds::ZERO, kind: FaultKind::DramBit, severity, origin }
+    }
+
+    #[test]
+    fn words_collapse_onto_dimms() {
+        let mut ledger = ErrorLedger::new();
+        ledger.record(&rec(ErrorOrigin::Dimm { dimm: 1, word: 10 }, ErrorSeverity::Corrected));
+        ledger.record(&rec(ErrorOrigin::Dimm { dimm: 1, word: 99 }, ErrorSeverity::Corrected));
+        assert_eq!(ledger.stats(LedgerKey::Dimm(1)).corrected, 2);
+    }
+
+    #[test]
+    fn hot_origins_sorted_and_filtered() {
+        let mut ledger = ErrorLedger::new();
+        for _ in 0..5 {
+            ledger.record(&rec(ErrorOrigin::CacheBank(0), ErrorSeverity::Corrected));
+        }
+        for _ in 0..2 {
+            ledger.record(&rec(ErrorOrigin::Core(1), ErrorSeverity::Uncorrected));
+        }
+        ledger.record(&rec(ErrorOrigin::CacheBank(3), ErrorSeverity::Corrected));
+
+        let hot = ledger.hot_origins(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, LedgerKey::CacheBank(0));
+        assert_eq!(hot[1].0, LedgerKey::Core(1));
+        assert_eq!(ledger.grand_total(), 8);
+    }
+
+    #[test]
+    fn unseen_origin_reads_zero() {
+        let ledger = ErrorLedger::new();
+        assert_eq!(ledger.stats(LedgerKey::Core(5)).total(), 0);
+    }
+
+    #[test]
+    fn severities_are_separated() {
+        let mut ledger = ErrorLedger::new();
+        ledger.record(&rec(ErrorOrigin::Core(0), ErrorSeverity::Corrected));
+        ledger.record(&rec(ErrorOrigin::Core(0), ErrorSeverity::Uncorrected));
+        ledger.record(&rec(ErrorOrigin::Core(0), ErrorSeverity::Fatal));
+        let s = ledger.stats(LedgerKey::Core(0));
+        assert_eq!((s.corrected, s.uncorrected, s.fatal), (1, 1, 1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Information vectors: the HealthLog's unit of reporting.
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::{Seconds, Volts, Watts};
+
+use uniserver_platform::mca::MceRecord;
+use uniserver_platform::node::IntervalReport;
+use uniserver_platform::pmu::PmuCounters;
+use uniserver_platform::sensors::SensorSnapshot;
+use uniserver_silicon::ErrorSeverity;
+
+/// System configuration values captured alongside each vector (the
+/// paper extends existing error reporting "with system configuration
+/// values, sensor readings and performance counters").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigValues {
+    /// Effective per-core supply voltages at capture time.
+    pub core_voltages: Vec<Volts>,
+    /// Mean node power over the captured interval.
+    pub node_power: Watts,
+}
+
+/// One information vector: everything the HealthLog knows about one
+/// interval of operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfoVector {
+    /// End-of-interval timestamp.
+    pub at: Seconds,
+    /// Interval length.
+    pub duration: Seconds,
+    /// Configuration values.
+    pub config: ConfigValues,
+    /// Sensor sweep.
+    pub sensors: SensorSnapshot,
+    /// Per-core performance-counter increments.
+    pub counters: Vec<PmuCounters>,
+    /// Error records raised during the interval.
+    pub errors: Vec<MceRecord>,
+    /// Whether the node crashed during the interval.
+    pub crashed: bool,
+}
+
+impl InfoVector {
+    /// Builds a vector from a platform interval report.
+    #[must_use]
+    pub fn from_report(report: &IntervalReport) -> Self {
+        InfoVector {
+            at: report.at,
+            duration: report.duration,
+            config: ConfigValues {
+                core_voltages: report.sensors.core_voltages.clone(),
+                node_power: report.power,
+            },
+            sensors: report.sensors.clone(),
+            counters: report.pmu_deltas.clone(),
+            errors: report.errors.clone(),
+            crashed: report.crash.is_some(),
+        }
+    }
+
+    /// Number of corrected errors in the vector.
+    #[must_use]
+    pub fn corrected_count(&self) -> usize {
+        self.errors.iter().filter(|e| e.severity == ErrorSeverity::Corrected).count()
+    }
+
+    /// Number of uncorrected errors in the vector.
+    #[must_use]
+    pub fn uncorrected_count(&self) -> usize {
+        self.errors.iter().filter(|e| e.severity == ErrorSeverity::Uncorrected).count()
+    }
+
+    /// Whether the vector carries any error or crash (event-worthy).
+    #[must_use]
+    pub fn is_event(&self) -> bool {
+        self.crashed || !self.errors.is_empty()
+    }
+
+    /// Renders the vector as one logfile line (the "system logfile" of
+    /// §3.C): stable, grep-friendly key=value text.
+    #[must_use]
+    pub fn render_logline(&self) -> String {
+        let mut line = format!(
+            "t={:.3} dur={:.3} power_w={:.2} ce={} ue={} crashed={}",
+            self.at.as_secs(),
+            self.duration.as_secs(),
+            self.config.node_power.as_watts(),
+            self.corrected_count(),
+            self.uncorrected_count(),
+            self.crashed,
+        );
+        for (i, v) in self.config.core_voltages.iter().enumerate() {
+            line.push_str(&format!(" v{}={:.0}mV", i, v.as_millivolts()));
+        }
+        line.push_str(&format!(" tmax={:.1}C", self.sensors.max_core_temp().as_celsius()));
+        for e in &self.errors {
+            line.push_str(&format!(" err[{}@{}]", e.severity.label(), e.origin));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_platform::node::ServerNode;
+    use uniserver_platform::part::PartSpec;
+    use uniserver_platform::workload::WorkloadProfile;
+
+    fn vector_from_run() -> InfoVector {
+        let mut node = ServerNode::new(PartSpec::arm_microserver(), 5);
+        let report = node.run_interval(&WorkloadProfile::spec_mcf(), Seconds::new(1.0));
+        InfoVector::from_report(&report)
+    }
+
+    #[test]
+    fn vector_mirrors_report_shape() {
+        let v = vector_from_run();
+        assert_eq!(v.counters.len(), 8);
+        assert_eq!(v.config.core_voltages.len(), 8);
+        assert!(!v.crashed);
+        assert!((v.at.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_interval_is_not_an_event() {
+        let v = vector_from_run();
+        assert!(!v.is_event());
+        assert_eq!(v.corrected_count(), 0);
+        assert_eq!(v.uncorrected_count(), 0);
+    }
+
+    #[test]
+    fn logline_is_stable_and_greppable() {
+        let v = vector_from_run();
+        let line = v.render_logline();
+        assert!(line.starts_with("t=1.000 dur=1.000"));
+        assert!(line.contains("ce=0 ue=0 crashed=false"));
+        assert!(line.contains("v0="));
+        assert!(line.contains("tmax="));
+    }
+
+    #[test]
+    fn error_records_appear_in_logline() {
+        use uniserver_platform::mca::{ErrorOrigin, MceRecord};
+        use uniserver_silicon::FaultKind;
+        let mut v = vector_from_run();
+        v.errors.push(MceRecord {
+            at: v.at,
+            kind: FaultKind::CacheBit,
+            severity: ErrorSeverity::Corrected,
+            origin: ErrorOrigin::CacheBank(2),
+        });
+        assert!(v.is_event());
+        assert!(v.render_logline().contains("err[CE@l3bank2]"));
+    }
+}

@@ -1,0 +1,562 @@
+//! The assembled server node.
+//!
+//! A [`ServerNode`] binds a manufactured chip instance (sampled from the
+//! part's variation model) to the MSR control plane, cache and memory
+//! subsystems, sensors, PMU and machine-check banks, and advances them in
+//! discrete intervals. The stress campaigns, daemons and hypervisor all
+//! drive nodes exclusively through this interface — the same observables
+//! the paper's stack gets from real hardware.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use uniserver_units::{Joules, Seconds, Volts, Watts};
+
+use uniserver_silicon::aging::AgingModel;
+use uniserver_silicon::rng::bernoulli;
+use uniserver_silicon::variation::ChipProfile;
+use uniserver_silicon::{ErrorSeverity, FaultKind};
+
+use crate::cache::CacheSubsystem;
+use crate::dram::MemorySystem;
+use crate::mca::{ErrorOrigin, McaBanks, MceRecord};
+use crate::msr::MsrFile;
+use crate::part::PartSpec;
+use crate::pmu::PmuCounters;
+use crate::sensors::{SensorBlock, SensorSnapshot};
+use crate::workload::WorkloadProfile;
+
+/// A node crash: which core went down, when, and at what voltage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// Core whose logic failed first.
+    pub core: usize,
+    /// Simulation time of the crash.
+    pub at: Seconds,
+    /// Effective supply voltage at the moment of the crash.
+    pub voltage: Volts,
+    /// Name of the workload running.
+    pub workload: String,
+}
+
+/// Everything observed during one simulated interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalReport {
+    /// Simulation time at the *end* of the interval.
+    pub at: Seconds,
+    /// Interval length.
+    pub duration: Seconds,
+    /// A crash, if one occurred (the interval still reports telemetry up
+    /// to the crash).
+    pub crash: Option<CrashEvent>,
+    /// Machine-check records raised during the interval.
+    pub errors: Vec<MceRecord>,
+    /// Noisy sensor sweep taken at the end of the interval.
+    pub sensors: SensorSnapshot,
+    /// Per-core PMU increments for the interval.
+    pub pmu_deltas: Vec<PmuCounters>,
+    /// Mean node power over the interval (cores + DRAM).
+    pub power: Watts,
+    /// Energy consumed over the interval.
+    pub energy: Joules,
+}
+
+/// State of one core within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct CoreState {
+    /// Manufactured fractional Vmin weakness (chip + core).
+    weakness: f64,
+    /// Isolated cores neither run work nor crash the node.
+    isolated: bool,
+}
+
+/// The simulated server node.
+#[derive(Debug, Clone)]
+pub struct ServerNode {
+    spec: PartSpec,
+    chip: ChipProfile,
+    /// Software-visible control registers.
+    pub msr: MsrFile,
+    cores: Vec<CoreState>,
+    cache: CacheSubsystem,
+    /// The memory subsystem (public: the hypervisor manages domains).
+    pub memory: MemorySystem,
+    sensors: SensorBlock,
+    mca: McaBanks,
+    pmu: Vec<PmuCounters>,
+    clock: Seconds,
+    crashed: bool,
+    reboots: u64,
+    aging: AgingModel,
+    age_months: f64,
+    rng: StdRng,
+}
+
+impl ServerNode {
+    /// Manufactures a node: samples a chip from the part's variation
+    /// model (deterministically from `seed`) and assembles the
+    /// subsystems. DRAM ECC is enabled — the production configuration;
+    /// characterization experiments that need ECC off build their memory
+    /// system explicitly via [`ServerNode::with_memory`].
+    #[must_use]
+    pub fn new(spec: PartSpec, seed: u64) -> Self {
+        Self::with_memory(spec, MemorySystem::commodity_server(true), seed)
+    }
+
+    /// Manufactures a node with an explicit memory system.
+    #[must_use]
+    pub fn with_memory(spec: PartSpec, memory: MemorySystem, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = spec.variation.sample_chip(seed, spec.cores, spec.cache_banks, &mut rng);
+        let cores = (0..spec.cores)
+            .map(|c| CoreState { weakness: chip.core_vmin_offset(c), isolated: false })
+            .collect();
+        let cache = CacheSubsystem::from_chip(&chip);
+        let msr = MsrFile::new(spec.nominal_voltage, spec.cores, memory.domains().len().max(1));
+        let pmu = vec![PmuCounters::new(); spec.cores];
+        ServerNode {
+            spec,
+            chip,
+            msr,
+            cores,
+            cache,
+            memory,
+            sensors: SensorBlock::server_room(),
+            mca: McaBanks::default(),
+            pmu,
+            clock: Seconds::ZERO,
+            crashed: false,
+            reboots: 0,
+            aging: AgingModel::typical_nbti(),
+            age_months: 0.0,
+            rng,
+        }
+    }
+
+    /// The part specification of this node.
+    #[must_use]
+    pub fn part(&self) -> &PartSpec {
+        &self.spec
+    }
+
+    /// The manufactured chip identity (what characterization discovers).
+    #[must_use]
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// Number of cores on the node.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the node is currently down.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Times the node has been rebooted.
+    #[must_use]
+    pub fn reboots(&self) -> u64 {
+        self.reboots
+    }
+
+    /// Ages the silicon by `months` of deployment: NBTI-style drift
+    /// raises every core's Vmin, eroding characterized margins — the
+    /// reason StressLog re-runs "several times over the lifetime of a
+    /// server" (§3.D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `months` is negative.
+    pub fn age_by_months(&mut self, months: f64) {
+        assert!(months >= 0.0, "cannot rejuvenate silicon");
+        self.age_months += months;
+    }
+
+    /// Accumulated deployment age in months.
+    #[must_use]
+    pub fn age_months(&self) -> f64 {
+        self.age_months
+    }
+
+    /// The aging-induced Vmin drift at the current age, as a fraction of
+    /// nominal voltage (added to every core's manufactured weakness).
+    #[must_use]
+    pub fn aging_weakness(&self) -> f64 {
+        self.aging.drift_mv(self.age_months) / self.spec.nominal_voltage.as_millivolts()
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.clock
+    }
+
+    /// The machine-check banks (for daemons to drain).
+    pub fn mca_mut(&mut self) -> &mut McaBanks {
+        &mut self.mca
+    }
+
+    /// Read-only machine-check banks.
+    #[must_use]
+    pub fn mca(&self) -> &McaBanks {
+        &self.mca
+    }
+
+    /// Marks a core as isolated: it stops running work and stops being
+    /// able to crash the node (the hypervisor's containment action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn isolate_core(&mut self, core: usize) {
+        self.cores[core].isolated = true;
+    }
+
+    /// Returns an isolated core to service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn restore_core(&mut self, core: usize) {
+        self.cores[core].isolated = false;
+    }
+
+    /// Whether a core is isolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn is_isolated(&self, core: usize) -> bool {
+        self.cores[core].isolated
+    }
+
+    /// Cache subsystem view.
+    #[must_use]
+    pub fn cache(&self) -> &CacheSubsystem {
+        &self.cache
+    }
+
+    /// Mutable cache subsystem (for isolation decisions).
+    pub fn cache_mut(&mut self) -> &mut CacheSubsystem {
+        &mut self.cache
+    }
+
+    /// Reboots a crashed node at *nominal* settings (undervolt offsets
+    /// are cleared by firmware on the way up, exactly like a real
+    /// machine coming back from a crash).
+    pub fn reboot(&mut self) {
+        if self.crashed {
+            self.reboots += 1;
+        }
+        self.crashed = false;
+        self.msr
+            .set_voltage_offset_all(0.0)
+            .expect("zero offset is always within limits");
+    }
+
+    /// Runs the node for one interval of `workload` on all active cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is crashed (call [`ServerNode::reboot`] first)
+    /// or `duration` is zero.
+    pub fn run_interval(&mut self, workload: &WorkloadProfile, duration: Seconds) -> IntervalReport {
+        assert!(!self.crashed, "node is crashed; call reboot() before running");
+        assert!(duration.as_secs() > 0.0, "interval must be positive");
+
+        let stress = workload.stress_scalar(&self.spec.pdn);
+        let nominal = self.spec.nominal_voltage;
+        let mut errors: Vec<MceRecord> = Vec::new();
+        let mut crash: Option<CrashEvent> = None;
+
+        // --- Core logic: sample per-run crash voltages, check for crash.
+        let mut min_active_voltage = nominal;
+        let mut crash_reference = Volts::ZERO;
+        let mut active = 0usize;
+        for (idx, core) in self.cores.iter().enumerate() {
+            if core.isolated {
+                continue;
+            }
+            active += 1;
+            let v = self.msr.effective_voltage(idx);
+            min_active_voltage = min_active_voltage.min(v);
+            let weakness = core.weakness + self.aging_weakness();
+            let crash_v =
+                self.spec.vmin.crash_voltage(nominal, weakness, stress, &mut self.rng);
+            crash_reference = crash_reference.max(crash_v);
+            let p = self.spec.vmin.crash_probability(v, crash_v);
+            if crash.is_none() && bernoulli(&mut self.rng, p) {
+                crash = Some(CrashEvent {
+                    core: idx,
+                    at: self.clock + duration,
+                    voltage: v,
+                    workload: workload.name.clone(),
+                });
+            }
+        }
+        if active == 0 {
+            // A fully isolated node idles; nothing can crash it.
+            crash_reference = nominal.scaled(1.0 - self.spec.vmin.base_crash_offset);
+        }
+
+        // --- Cache banks: corrected errors in the onset window.
+        for sample in
+            self.cache.sample_interval(min_active_voltage, crash_reference, &self.spec.vmin, &mut self.rng)
+        {
+            for _ in 0..sample.corrected {
+                errors.push(MceRecord {
+                    at: self.clock + duration,
+                    kind: FaultKind::CacheBit,
+                    severity: ErrorSeverity::Corrected,
+                    origin: ErrorOrigin::CacheBank(sample.bank),
+                });
+            }
+        }
+
+        // --- Power & thermals.
+        let mut core_powers = Vec::with_capacity(self.cores.len());
+        let mut core_voltages = Vec::with_capacity(self.cores.len());
+        for (idx, core) in self.cores.iter().enumerate() {
+            let v = self.msr.effective_voltage(idx);
+            let activity = if core.isolated { 0.02 } else { workload.activity };
+            let p = self.spec.power.total(
+                v,
+                self.spec.nominal_frequency,
+                activity,
+                self.sensors.true_core_temp(Watts::new(5.0)), // first-order estimate
+                nominal,
+                self.chip.leakage_factor,
+            );
+            core_powers.push(p);
+            core_voltages.push(v);
+        }
+        let dram_util = workload.mem_bw_util;
+        let dram_power = self.memory.power(&self.msr, dram_util);
+        let package: Watts =
+            core_powers.iter().fold(Watts::ZERO, |a, b| a + *b) + dram_power;
+        let energy = package * duration;
+
+        // --- DRAM retention errors at the current refresh settings.
+        let dimm_temp = self.sensors.true_dimm_temp(package);
+        let touch = (workload.mem_bw_util * 0.8 + 0.02).min(1.0);
+        errors.extend(self.memory.step_errors(
+            &self.msr,
+            dimm_temp,
+            duration,
+            self.clock + duration,
+            touch,
+            &mut self.rng,
+        ));
+
+        // --- PMU and sensors.
+        let mut pmu_deltas = Vec::with_capacity(self.cores.len());
+        for (idx, core) in self.cores.iter().enumerate() {
+            let delta = if core.isolated {
+                PmuCounters::new()
+            } else {
+                self.pmu[idx].advance(workload, self.spec.nominal_frequency, duration)
+            };
+            pmu_deltas.push(delta);
+        }
+        let snapshot = self.sensors.sample(&core_powers, &core_voltages, &mut self.rng);
+
+        // --- Post MCEs to the banks; a crash posts a fatal record.
+        if let Some(ev) = &crash {
+            errors.push(MceRecord {
+                at: ev.at,
+                kind: FaultKind::CoreLogic,
+                severity: ErrorSeverity::Fatal,
+                origin: ErrorOrigin::Core(ev.core),
+            });
+            self.crashed = true;
+        }
+        for rec in &errors {
+            self.mca.post(*rec);
+        }
+
+        self.clock = self.clock + duration;
+        IntervalReport {
+            at: self.clock,
+            duration,
+            crash,
+            errors,
+            sensors: snapshot,
+            pmu_deltas,
+            power: package,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ServerNode {
+        ServerNode::new(PartSpec::arm_microserver(), 7)
+    }
+
+    #[test]
+    fn nominal_operation_is_stable_and_clean() {
+        let mut n = node();
+        let w = WorkloadProfile::spec_bzip2();
+        for _ in 0..50 {
+            let r = n.run_interval(&w, Seconds::from_millis(200.0));
+            assert!(r.crash.is_none(), "crash at nominal settings");
+            assert!(r.errors.is_empty(), "errors at nominal settings: {:?}", r.errors);
+        }
+        assert!((n.now().as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_undervolt_crashes_quickly() {
+        let mut n = node();
+        // 20 % below nominal is well past the ~13 % crash point.
+        let off = n.part().offset_mv(0.20);
+        n.msr.set_voltage_offset_all(off).unwrap();
+        let w = WorkloadProfile::spec_zeusmp();
+        let mut crashed = false;
+        for _ in 0..20 {
+            if n.run_interval(&w, Seconds::from_millis(100.0)).crash.is_some() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "a 20 % undervolt must crash");
+        assert!(n.is_crashed());
+        assert_eq!(n.mca().fatal_total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "call reboot()")]
+    fn running_a_crashed_node_panics() {
+        let mut n = node();
+        n.msr.set_voltage_offset_all(n.part().offset_mv(0.25)).unwrap();
+        let w = WorkloadProfile::spec_zeusmp();
+        for _ in 0..200 {
+            n.run_interval(&w, Seconds::from_millis(100.0));
+        }
+    }
+
+    #[test]
+    fn reboot_restores_nominal_settings() {
+        let mut n = node();
+        n.msr.set_voltage_offset_all(n.part().offset_mv(0.25)).unwrap();
+        let w = WorkloadProfile::spec_zeusmp();
+        while n.run_interval(&w, Seconds::from_millis(100.0)).crash.is_none() {}
+        n.reboot();
+        assert!(!n.is_crashed());
+        assert_eq!(n.reboots(), 1);
+        assert_eq!(n.msr.voltage_offset_mv(0), 0.0, "firmware clears offsets");
+        // And it runs again.
+        let r = n.run_interval(&w, Seconds::from_millis(100.0));
+        assert!(r.crash.is_none());
+    }
+
+    #[test]
+    fn moderate_undervolt_saves_power() {
+        let mut a = ServerNode::new(PartSpec::arm_microserver(), 7);
+        let mut b = ServerNode::new(PartSpec::arm_microserver(), 7);
+        b.msr.set_voltage_offset_all(b.part().offset_mv(0.08)).unwrap();
+        let w = WorkloadProfile::spec_hmmer();
+        let pa = a.run_interval(&w, Seconds::new(1.0)).power;
+        let pb = b.run_interval(&w, Seconds::new(1.0)).power;
+        assert!(
+            pb.as_watts() < pa.as_watts() * 0.95,
+            "8 % undervolt should save ≥5 % power ({pb} vs {pa})"
+        );
+    }
+
+    #[test]
+    fn isolated_cores_do_not_crash_the_node() {
+        let mut n = node();
+        // Undervolt only core 0 deep into its crash region, then isolate it.
+        n.msr.set_voltage_offset(0, n.part().offset_mv(0.22)).unwrap();
+        n.isolate_core(0);
+        let w = WorkloadProfile::spec_zeusmp();
+        for _ in 0..50 {
+            let r = n.run_interval(&w, Seconds::from_millis(100.0));
+            assert!(r.crash.is_none(), "isolated core crashed the node");
+        }
+        assert!(n.is_isolated(0));
+        // Its PMU stays frozen.
+        assert_eq!(n.run_interval(&w, Seconds::from_millis(100.0)).pmu_deltas[0], PmuCounters::new());
+    }
+
+    #[test]
+    fn interval_report_is_internally_consistent() {
+        let mut n = node();
+        let w = WorkloadProfile::spec_mcf();
+        let r = n.run_interval(&w, Seconds::new(2.0));
+        assert_eq!(r.at, Seconds::new(2.0));
+        assert_eq!(r.pmu_deltas.len(), n.core_count());
+        assert!((r.energy.as_joules() - r.power.as_watts() * 2.0).abs() < 1e-9);
+        assert_eq!(r.sensors.core_temps.len(), n.core_count());
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let mut a = ServerNode::new(PartSpec::i7_3970x(), 123);
+        let mut b = ServerNode::new(PartSpec::i7_3970x(), 123);
+        let w = WorkloadProfile::spec_milc();
+        for _ in 0..10 {
+            let ra = a.run_interval(&w, Seconds::from_millis(250.0));
+            let rb = b.run_interval(&w, Seconds::from_millis(250.0));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn aging_erodes_margins() {
+        // A fresh node survives a mid-depth undervolt; after years of
+        // drift the same operating point crashes.
+        let offset_fraction = 0.105;
+        let w = WorkloadProfile::spec_bzip2();
+
+        let mut fresh = ServerNode::new(PartSpec::arm_microserver(), 77);
+        fresh.msr.set_voltage_offset_all(fresh.part().offset_mv(offset_fraction)).unwrap();
+        let mut fresh_crashes = 0;
+        for _ in 0..60 {
+            if fresh.run_interval(&w, Seconds::from_millis(250.0)).crash.is_some() {
+                fresh_crashes += 1;
+                fresh.reboot();
+                fresh.msr.set_voltage_offset_all(fresh.part().offset_mv(offset_fraction)).unwrap();
+            }
+        }
+
+        let mut aged = ServerNode::new(PartSpec::arm_microserver(), 77);
+        aged.age_by_months(48.0);
+        assert!(aged.aging_weakness() > 0.02, "4-year drift {:.4}", aged.aging_weakness());
+        aged.msr.set_voltage_offset_all(aged.part().offset_mv(offset_fraction)).unwrap();
+        let mut aged_crashes = 0;
+        for _ in 0..60 {
+            if aged.run_interval(&w, Seconds::from_millis(250.0)).crash.is_some() {
+                aged_crashes += 1;
+                aged.reboot();
+                aged.msr.set_voltage_offset_all(aged.part().offset_mv(offset_fraction)).unwrap();
+            }
+        }
+        assert!(
+            aged_crashes > fresh_crashes,
+            "aged part must crash more at the same point ({aged_crashes} vs {fresh_crashes})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rejuvenate")]
+    fn negative_aging_panics() {
+        ServerNode::new(PartSpec::arm_microserver(), 1).age_by_months(-1.0);
+    }
+
+    #[test]
+    fn different_chips_differ() {
+        let a = ServerNode::new(PartSpec::i7_3970x(), 1);
+        let b = ServerNode::new(PartSpec::i7_3970x(), 2);
+        assert_ne!(a.chip().speed_factor, b.chip().speed_factor);
+    }
+}

@@ -1,0 +1,227 @@
+//! Logistic-regression failure-probability model.
+//!
+//! Small, dependency-free and entirely adequate: the crash boundary in
+//! feature space (offset vs stress) is close to linear, which is exactly
+//! the regime logistic regression handles well. Trained with plain SGD
+//! over epochs; evaluated with accuracy, log-loss and AUC.
+
+use serde::{Deserialize, Serialize};
+
+use uniserver_silicon::math::sigmoid;
+
+use crate::features::{FeatureVector, FEATURE_DIM};
+use crate::harness::Dataset;
+
+/// A trained logistic model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// Per-feature weights.
+    pub weights: [f64; FEATURE_DIM],
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LogisticModel {
+    /// An untrained (all-zero) model predicting 0.5 everywhere.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        LogisticModel { weights: [0.0; FEATURE_DIM], bias: 0.0 }
+    }
+
+    /// Fits by SGD: `epochs` passes over the dataset at learning rate
+    /// `lr` (decayed 1/√epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or hyper-parameters are
+    /// non-positive.
+    #[must_use]
+    pub fn fit(data: &Dataset, epochs: usize, lr: f64) -> Self {
+        assert!(!data.samples.is_empty(), "cannot fit on an empty dataset");
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(lr > 0.0, "learning rate must be positive");
+
+        let mut model = LogisticModel::zeroed();
+        for epoch in 0..epochs {
+            let rate = lr / ((1 + epoch) as f64).sqrt();
+            for s in &data.samples {
+                let p = model.predict_proba(&s.features);
+                let err = p - if s.crashed { 1.0 } else { 0.0 };
+                for (w, x) in model.weights.iter_mut().zip(s.features.values) {
+                    *w -= rate * err * x;
+                }
+                model.bias -= rate * err;
+            }
+        }
+        model
+    }
+
+    /// Predicted crash probability for a feature vector.
+    #[must_use]
+    pub fn predict_proba(&self, f: &FeatureVector) -> f64 {
+        let z: f64 =
+            self.weights.iter().zip(f.values).map(|(w, x)| w * x).sum::<f64>() + self.bias;
+        sigmoid(z)
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    #[must_use]
+    pub fn predict(&self, f: &FeatureVector) -> bool {
+        self.predict_proba(f) >= 0.5
+    }
+
+    /// Classification accuracy on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        assert!(!data.samples.is_empty(), "empty dataset");
+        let correct =
+            data.samples.iter().filter(|s| self.predict(&s.features) == s.crashed).count();
+        correct as f64 / data.samples.len() as f64
+    }
+
+    /// Mean negative log-likelihood on a dataset (lower is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn log_loss(&self, data: &Dataset) -> f64 {
+        assert!(!data.samples.is_empty(), "empty dataset");
+        let eps = 1e-12;
+        let total: f64 = data
+            .samples
+            .iter()
+            .map(|s| {
+                let p = self.predict_proba(&s.features).clamp(eps, 1.0 - eps);
+                if s.crashed {
+                    -p.ln()
+                } else {
+                    -(1.0 - p).ln()
+                }
+            })
+            .sum();
+        total / data.samples.len() as f64
+    }
+
+    /// Area under the ROC curve via the rank-sum (Mann–Whitney)
+    /// formulation. Returns 0.5 when one class is absent.
+    #[must_use]
+    pub fn auc(&self, data: &Dataset) -> f64 {
+        let mut scored: Vec<(f64, bool)> = data
+            .samples
+            .iter()
+            .map(|s| (self.predict_proba(&s.features), s.crashed))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("probabilities are finite"));
+        let positives = scored.iter().filter(|(_, y)| *y).count() as f64;
+        let negatives = scored.len() as f64 - positives;
+        if positives == 0.0 || negatives == 0.0 {
+            return 0.5;
+        }
+        let mut rank_sum = 0.0;
+        for (rank, (_, y)) in scored.iter().enumerate() {
+            if *y {
+                rank_sum += (rank + 1) as f64;
+            }
+        }
+        (rank_sum - positives * (positives + 1.0) / 2.0) / (positives * negatives)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TrainingHarness;
+
+    fn trained() -> (LogisticModel, Dataset) {
+        let data = TrainingHarness::quick().generate(3);
+        let (train, test) = data.split(0.8);
+        (LogisticModel::fit(&train, 150, 0.5), test)
+    }
+
+    #[test]
+    fn model_beats_chance_comfortably() {
+        let (model, test) = trained();
+        let acc = model.accuracy(&test);
+        let auc = model.auc(&test);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert!(auc > 0.9, "AUC {auc}");
+    }
+
+    #[test]
+    fn training_reduces_log_loss() {
+        let data = TrainingHarness::quick().generate(2);
+        let untrained = LogisticModel::zeroed();
+        let model = LogisticModel::fit(&data, 100, 0.5);
+        assert!(model.log_loss(&data) < untrained.log_loss(&data) * 0.8);
+    }
+
+    #[test]
+    fn deeper_undervolt_predicts_higher_risk() {
+        let (model, _) = trained();
+        use uniserver_units::Celsius;
+        let p = |off: f64| {
+            model.predict_proba(&FeatureVector::from_observables(
+                off,
+                0.5,
+                Celsius::new(55.0),
+                0.0,
+            ))
+        };
+        assert!(p(0.02) < p(0.10));
+        assert!(p(0.10) < p(0.18));
+        assert!(p(0.02) < 0.1, "shallow offsets are safe: {}", p(0.02));
+        assert!(p(0.18) > 0.9, "deep offsets are fatal: {}", p(0.18));
+    }
+
+    #[test]
+    fn stressful_workloads_raise_risk_at_the_margin() {
+        let (model, _) = trained();
+        use uniserver_units::Celsius;
+        let marginal = 0.12;
+        let quiet = model.predict_proba(&FeatureVector::from_observables(
+            marginal,
+            0.1,
+            Celsius::new(55.0),
+            0.0,
+        ));
+        let loud = model.predict_proba(&FeatureVector::from_observables(
+            marginal,
+            0.9,
+            Celsius::new(55.0),
+            0.0,
+        ));
+        assert!(loud > quiet, "stress must raise predicted risk ({loud} vs {quiet})");
+    }
+
+    #[test]
+    fn untrained_model_is_uninformative() {
+        let m = LogisticModel::zeroed();
+        use uniserver_units::Celsius;
+        let f = FeatureVector::from_observables(0.1, 0.5, Celsius::new(45.0), 0.0);
+        assert_eq!(m.predict_proba(&f), 0.5);
+    }
+
+    #[test]
+    fn auc_degenerates_gracefully() {
+        use crate::harness::Sample;
+        use uniserver_units::Celsius;
+        let one_class: Dataset = (0..5)
+            .map(|_| Sample {
+                features: FeatureVector::from_observables(0.1, 0.5, Celsius::new(45.0), 0.0),
+                crashed: false,
+            })
+            .collect();
+        assert_eq!(LogisticModel::zeroed().auc(&one_class), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn accuracy_on_empty_panics() {
+        let _ = LogisticModel::zeroed().accuracy(&Dataset::default());
+    }
+}

@@ -1,0 +1,57 @@
+//! Device-level behavioural models for the UniServer reproduction.
+//!
+//! The UniServer paper characterizes *real* silicon: per-core crash
+//! voltages of two Intel parts, cache ECC-error onset, DRAM retention under
+//! relaxed refresh, and the voltage guard-bands vendors adopt against
+//! droops, Vmin and core-to-core variation. None of that hardware is
+//! available here, so this crate provides the behavioural substrate that
+//! the rest of the stack (platform, daemons, hypervisor, cloud manager)
+//! characterizes instead — calibrated so the paper's measured ranges come
+//! out of the same experiments (see `DESIGN.md` §2 and §5).
+//!
+//! Layout:
+//!
+//! * [`variation`] — process variation and chip populations (Figure 1).
+//! * [`binning`] — speed binning of chip populations (Figure 1).
+//! * [`vmin`] — per-core/per-bank minimum-voltage (crash point) models.
+//! * [`droop`] — workload-induced voltage droop (Table 1).
+//! * [`guardband`] — guard-band decomposition and measurement (Table 1).
+//! * [`retention`] — DRAM cell retention statistics (§6.B).
+//! * [`ecc`] — a real SECDED(72,64) extended-Hamming codec.
+//! * [`power`] — core and DRAM power models, refresh-power share (§6.B).
+//! * [`aging`] — NBTI-style Vmin drift driving re-characterization.
+//! * [`comparisons`] — Razor/ArchShield baselines (§5.A related work).
+//! * [`faults`] — fault taxonomy and bit-flip primitives.
+//! * [`math`] / [`rng`] — special functions and seeded samplers.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use uniserver_silicon::variation::VariationParams;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let chip = VariationParams::server_28nm().sample_chip(0, 8, 16, &mut rng);
+//! assert_eq!(chip.cores.len(), 8);
+//! // Every core is unique: that is the premise of the whole paper.
+//! assert!(chip.cores[0].vmin_offset != chip.cores[1].vmin_offset);
+//! ```
+
+pub mod aging;
+pub mod binning;
+pub mod comparisons;
+pub mod droop;
+pub mod ecc;
+pub mod faults;
+pub mod guardband;
+pub mod math;
+pub mod power;
+pub mod retention;
+pub mod rng;
+pub mod variation;
+pub mod vmin;
+
+pub use ecc::{DecodeOutcome, Secded72};
+pub use faults::{BitFlip, ErrorSeverity, FaultKind};
+pub use variation::{ChipProfile, CoreProfile, VariationParams};
+pub use vmin::VminModel;

@@ -1,0 +1,213 @@
+//! Seeded samplers for the statistical models.
+//!
+//! `rand` 0.8 ships only uniform distributions; the normal, lognormal and
+//! Poisson samplers the models need are implemented here so that the
+//! workspace stays within its declared dependency set. All samplers take
+//! `&mut impl Rng` so experiments remain reproducible from a single seed.
+
+use rand::Rng;
+
+/// Samples a normal deviate `N(mean, sigma²)` via the Box–Muller
+/// transform.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uniserver_silicon::rng::normal;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = normal(&mut rng, 10.0, 0.0);
+/// assert_eq!(x, 10.0); // zero sigma is deterministic
+/// ```
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative, got {sigma}");
+    if sigma == 0.0 {
+        return mean;
+    }
+    // Box–Muller; u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+/// Samples a normal deviate truncated to `[lo, hi]` by rejection (falls
+/// back to clamping after 64 rejections, which only triggers for extreme
+/// truncations).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `sigma` is negative.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
+    for _ in 0..64 {
+        let x = normal(rng, mean, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sigma).clamp(lo, hi)
+}
+
+/// Samples a half-normal deviate `|N(0, sigma²)|`.
+pub fn half_normal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    normal(rng, 0.0, sigma).abs()
+}
+
+/// Samples a lognormal deviate: `exp(N(mu_ln, sigma_ln²))`.
+///
+/// `mu_ln`/`sigma_ln` are the parameters of the underlying normal (natural
+/// log scale), matching how the DRAM retention literature reports fits.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu_ln: f64, sigma_ln: f64) -> f64 {
+    normal(rng, mu_ln, sigma_ln).exp()
+}
+
+/// Samples a Poisson-distributed count with the given rate.
+///
+/// Uses Knuth's product method for small rates and a rounded-normal
+/// approximation above 30, which is accurate to within the model noise.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and non-negative, got {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        count += 1;
+    }
+    count
+}
+
+/// Samples `true` with probability `p` (clamped into `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Samples an exponential deviate with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is non-positive or non-finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "mean must be finite and positive, got {mean}");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let x = truncated_normal(&mut r, 0.0, 1.0, -0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn half_normal_is_non_negative() {
+        let mut r = rng();
+        assert!((0..2_000).all(|_| half_normal(&mut r, 2.0) >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng();
+        let n = 40_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal(&mut r, 1.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of a lognormal is exp(mu).
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn poisson_small_rate_mean() {
+        let mut r = rng();
+        let n = 30_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 2.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_rate_uses_normal_approx() {
+        let mut r = rng();
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 500.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!((0..100).all(|_| !bernoulli(&mut r, 0.0)));
+        assert!((0..100).all(|_| bernoulli(&mut r, 1.0)));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 40_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..16).map(|_| normal(&mut a, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..16).map(|_| normal(&mut b, 0.0, 1.0)).collect();
+        assert_eq!(xs, ys);
+    }
+}

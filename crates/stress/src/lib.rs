@@ -1,0 +1,37 @@
+//! Stress-test development and characterization campaigns (paper §3).
+//!
+//! UniServer reveals Extended Operating Points by stress-testing each
+//! hardware component: "we will stress the underlying cores and memories
+//! using diagnostic viruses. We plan to use genetic algorithms for
+//! generating these viruses" (§3.B). This crate provides:
+//!
+//! * [`kernels`] — hand-coded stress kernels targeting specific
+//!   components (power virus, cache thrash, droop resonator, …);
+//! * [`genetic`] — the genetic algorithm that *evolves* maximum-noise
+//!   viruses from instruction-block genomes;
+//! * [`patterns`] — DRAM test patterns for retention testing;
+//! * [`campaign`] — the characterization campaigns themselves: the
+//!   undervolting shmoo that regenerates Table 2 and the refresh sweep
+//!   that regenerates the §6.B DRAM results.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use uniserver_stress::genetic::{GaConfig, evolve};
+//! use uniserver_silicon::droop::DroopModel;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let pdn = DroopModel::typical_server_pdn();
+//! let report = evolve(&GaConfig::quick(), &pdn, &mut rng);
+//! // The evolved virus must out-droop a random genome.
+//! assert!(report.best_fitness_history.last().unwrap() > report.best_fitness_history.first().unwrap());
+//! ```
+
+pub mod campaign;
+pub mod genetic;
+pub mod kernels;
+pub mod patterns;
+
+pub use campaign::{RefreshSweep, ShmooCampaign, Table2Summary};
+pub use genetic::{evolve, GaConfig, VirusGenome};

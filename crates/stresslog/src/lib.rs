@@ -1,0 +1,383 @@
+//! The StressLog daemon (paper §3.D).
+//!
+//! "A mechanism is needed to produce new nominal values that will still
+//! guarantee the safe operations of the server. This mechanism will
+//! stress test the machine using predefined applications and compute new
+//! safe operating V-F-R margins." The daemon:
+//!
+//! * is **spawned periodically** (every 2–3 months) or **triggered** by
+//!   higher layers on anomalous behaviour ([`Schedule`]);
+//! * takes the machine offline, receives its **stress target
+//!   parameters** ([`StressTargetParams`]) and runs the characterization
+//!   campaigns (undervolting shmoo + refresh sweep) with the HealthLog
+//!   recording in parallel;
+//! * wraps the results into a **margin vector** ([`MarginVector`]) for
+//!   the hypervisor and cloud layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniserver_platform::{PartSpec, ServerNode};
+//! use uniserver_stresslog::{StressLog, StressTargetParams};
+//!
+//! let mut node = ServerNode::new(PartSpec::arm_microserver(), 11);
+//! let mut daemon = StressLog::new(StressTargetParams::quick());
+//! let margins = daemon.characterize(&mut node, None);
+//! assert_eq!(margins.per_core_safe_offset_mv.len(), 8);
+//! assert!(margins.safe_refresh.as_secs() >= 1.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::Seconds;
+
+use uniserver_healthlog::SharedHealthLog;
+use uniserver_platform::node::ServerNode;
+use uniserver_platform::workload::WorkloadProfile;
+use uniserver_stress::campaign::{RefreshSweep, ShmooCampaign, Table2Summary};
+use uniserver_stress::kernels;
+
+/// Input parameters handed down by higher layers ("as soon as the
+/// monitor receives the input stress target parameters from the higher
+/// system layers, it will initiate the stress test scenarios").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StressTargetParams {
+    /// Workload suite: benchmarks representing real applications plus
+    /// hand-coded component stressors.
+    pub workloads: Vec<WorkloadProfile>,
+    /// Undervolting shmoo methodology.
+    pub shmoo: ShmooCampaign,
+    /// Refresh-relaxation sweep methodology.
+    pub refresh: RefreshSweep,
+    /// Safety slack subtracted from measured crash offsets (millivolts).
+    pub voltage_slack_mv: f64,
+    /// Multiplier (≤ 1) applied to the measured safe refresh interval.
+    pub refresh_derating: f64,
+}
+
+impl StressTargetParams {
+    /// The full suite: the SPEC subset plus every hand-coded kernel, at
+    /// the paper's methodology settings.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut workloads = WorkloadProfile::spec2006_subset();
+        workloads.extend(kernels::suite());
+        StressTargetParams {
+            workloads,
+            shmoo: ShmooCampaign::paper_methodology(),
+            refresh: RefreshSweep::paper_sweep(),
+            voltage_slack_mv: 15.0,
+            refresh_derating: 0.8,
+        }
+    }
+
+    /// A reduced suite for tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        let mut p = StressTargetParams::standard();
+        p.workloads = vec![WorkloadProfile::spec_bzip2(), kernels::droop_resonator()];
+        p.shmoo.dwell = Seconds::from_millis(200.0);
+        p.shmoo.runs = 1;
+        p.refresh.passes = 1;
+        p
+    }
+}
+
+impl Default for StressTargetParams {
+    fn default() -> Self {
+        StressTargetParams::standard()
+    }
+}
+
+/// The output vector "containing the new safe system V-F-R margins that
+/// will be suggested to the software (i.e. Hypervisor) for future
+/// usage" (§2.ii).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginVector {
+    /// Node time at which the characterization finished.
+    pub produced_at: Seconds,
+    /// Part the margins apply to.
+    pub part_name: String,
+    /// Maximum safe undervolt per core, in millivolts below nominal
+    /// (measured weakest crash point minus the safety slack).
+    pub per_core_safe_offset_mv: Vec<f64>,
+    /// Safe refresh interval for relaxed memory domains.
+    pub safe_refresh: Seconds,
+    /// Condensed crash/CE statistics from the shmoo (Table 2 form).
+    pub summary: Table2Summary,
+}
+
+impl MarginVector {
+    /// The node-wide safe offset: limited by the weakest core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector covers no cores.
+    #[must_use]
+    pub fn node_safe_offset_mv(&self) -> f64 {
+        assert!(!self.per_core_safe_offset_mv.is_empty(), "empty margin vector");
+        self.per_core_safe_offset_mv.iter().cloned().fold(f64::MAX, f64::min)
+    }
+}
+
+/// Periodic/triggered scheduling of re-characterizations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Period between routine runs (the paper suggests 2–3 months).
+    pub period: Seconds,
+    /// When the daemon last ran, if ever.
+    pub last_run: Option<Seconds>,
+}
+
+impl Schedule {
+    /// A fresh schedule with the given period that has never run.
+    #[must_use]
+    pub fn every(period: Seconds) -> Self {
+        Schedule { period, last_run: None }
+    }
+
+    /// The paper's suggested cadence (~2.5 months).
+    #[must_use]
+    pub fn paper_cadence() -> Self {
+        Schedule::every(Seconds::new(2.5 * 30.0 * 24.0 * 3600.0))
+    }
+
+    /// Whether a characterization is due: never ran, period elapsed, or
+    /// an anomaly was flagged by the HealthLog.
+    #[must_use]
+    pub fn due(&self, now: Seconds, anomaly: bool) -> bool {
+        if anomaly {
+            return true;
+        }
+        match self.last_run {
+            None => true,
+            Some(last) => now.saturating_sub(last) >= self.period,
+        }
+    }
+
+    /// Records a completed run.
+    pub fn mark_ran(&mut self, now: Seconds) {
+        self.last_run = Some(now);
+    }
+}
+
+/// The StressLog daemon.
+#[derive(Debug, Clone)]
+pub struct StressLog {
+    params: StressTargetParams,
+    history: Vec<MarginVector>,
+}
+
+impl StressLog {
+    /// Creates a daemon with the given stress target parameters.
+    #[must_use]
+    pub fn new(params: StressTargetParams) -> Self {
+        StressLog { params, history: Vec::new() }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn params(&self) -> &StressTargetParams {
+        &self.params
+    }
+
+    /// All previously produced margin vectors, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[MarginVector] {
+        &self.history
+    }
+
+    /// Takes the node offline and characterizes it. If a HealthLog
+    /// handle is supplied, the daemon announces start/finish in the
+    /// shared logfile (the paper runs HealthLog in parallel to record
+    /// events during stress testing).
+    pub fn characterize(
+        &mut self,
+        node: &mut ServerNode,
+        health: Option<&SharedHealthLog>,
+    ) -> MarginVector {
+        if let Some(h) = health {
+            h.lock().log_note(format!(
+                "stresslog: begin characterization of '{}' at t={:.1}s",
+                node.part().name,
+                node.now().as_secs()
+            ));
+        }
+
+        // --- CPU margins via the undervolting shmoo.
+        let shmoo = self.params.shmoo.run_on(node, &self.params.workloads);
+        let nominal_mv = node.part().nominal_voltage.as_millivolts();
+        let mut per_core = Vec::with_capacity(node.core_count());
+        for core in shmoo.cores() {
+            let weakest_mv = shmoo
+                .runs
+                .iter()
+                .filter(|r| r.core == core)
+                .map(|r| r.crash_offset_mv)
+                .fold(f64::MAX, f64::min);
+            let safe = (weakest_mv - self.params.voltage_slack_mv).max(0.0);
+            // Never suggest more than the MSR can express.
+            per_core.push(safe.min(nominal_mv));
+        }
+
+        // --- DRAM margins via the refresh sweep on a relaxed-domain DIMM.
+        let last_dimm = node.memory.dimms().len() - 1;
+        let sweep_seed = node.part().cores as u64;
+        let points = self.params.refresh.run(&mut node.memory, last_dimm, sweep_seed);
+        let measured_safe = RefreshSweep::max_safe_interval(&points)
+            .unwrap_or(Seconds::from_millis(64.0));
+        let safe_refresh =
+            Seconds::new((measured_safe.as_secs() * self.params.refresh_derating).max(0.064));
+
+        let vector = MarginVector {
+            produced_at: node.now(),
+            part_name: node.part().name.clone(),
+            per_core_safe_offset_mv: per_core,
+            safe_refresh,
+            summary: Table2Summary::from_shmoo(&shmoo),
+        };
+        if let Some(h) = health {
+            h.lock().log_note(format!(
+                "stresslog: done; node-safe offset {:.0} mV, safe refresh {}",
+                vector.node_safe_offset_mv(),
+                vector.safe_refresh
+            ));
+        }
+        self.history.push(vector.clone());
+        vector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_healthlog::{HealthLog, ThresholdPolicy};
+    use uniserver_platform::part::PartSpec;
+
+    fn characterized() -> (ServerNode, MarginVector) {
+        let mut node = ServerNode::new(PartSpec::arm_microserver(), 11);
+        let mut daemon = StressLog::new(StressTargetParams::quick());
+        let margins = daemon.characterize(&mut node, None);
+        (node, margins)
+    }
+
+    #[test]
+    fn margins_cover_every_core_and_are_substantial() {
+        let (node, margins) = characterized();
+        assert_eq!(margins.per_core_safe_offset_mv.len(), node.core_count());
+        for (core, &mv) in margins.per_core_safe_offset_mv.iter().enumerate() {
+            // The ARM part's crash offsets sit near 9–13 % of 980 mV; the
+            // safe margin after slack must remain far beyond nominal DVFS.
+            assert!((25.0..200.0).contains(&mv), "core {core} safe offset {mv} mV");
+        }
+        assert!(margins.safe_refresh.as_secs() > 0.5, "safe refresh {}", margins.safe_refresh);
+    }
+
+    #[test]
+    fn margin_vector_is_actually_safe_to_operate_at() {
+        let (mut node, margins) = characterized();
+        // Apply the advertised node-wide safe offset and run for a while:
+        // the whole point of the margin vector is that this must not crash.
+        node.msr.set_voltage_offset_all(margins.node_safe_offset_mv()).unwrap();
+        let w = WorkloadProfile::spec_bzip2();
+        for _ in 0..100 {
+            let report = node.run_interval(&w, Seconds::from_millis(200.0));
+            assert!(report.crash.is_none(), "crashed at the advertised safe offset");
+        }
+    }
+
+    #[test]
+    fn slack_widens_safety() {
+        let mut node_a = ServerNode::new(PartSpec::arm_microserver(), 11);
+        let mut node_b = ServerNode::new(PartSpec::arm_microserver(), 11);
+        let mut tight = StressLog::new(StressTargetParams {
+            voltage_slack_mv: 5.0,
+            ..StressTargetParams::quick()
+        });
+        let mut wide = StressLog::new(StressTargetParams {
+            voltage_slack_mv: 25.0,
+            ..StressTargetParams::quick()
+        });
+        let a = tight.characterize(&mut node_a, None);
+        let b = wide.characterize(&mut node_b, None);
+        assert!(b.node_safe_offset_mv() < a.node_safe_offset_mv());
+    }
+
+    #[test]
+    fn refresh_derating_shrinks_the_interval() {
+        let mut node_a = ServerNode::new(PartSpec::arm_microserver(), 13);
+        let mut node_b = ServerNode::new(PartSpec::arm_microserver(), 13);
+        let mut full = StressLog::new(StressTargetParams {
+            refresh_derating: 1.0,
+            ..StressTargetParams::quick()
+        });
+        let mut derated = StressLog::new(StressTargetParams {
+            refresh_derating: 0.5,
+            ..StressTargetParams::quick()
+        });
+        let a = full.characterize(&mut node_a, None);
+        let b = derated.characterize(&mut node_b, None);
+        assert!(b.safe_refresh < a.safe_refresh);
+        assert!((b.safe_refresh.as_secs() / a.safe_refresh.as_secs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_semantics() {
+        let mut s = Schedule::every(Seconds::new(100.0));
+        assert!(s.due(Seconds::ZERO, false), "never ran -> due");
+        s.mark_ran(Seconds::new(10.0));
+        assert!(!s.due(Seconds::new(50.0), false));
+        assert!(s.due(Seconds::new(110.0), false), "period elapsed -> due");
+        assert!(s.due(Seconds::new(50.0), true), "anomaly -> due regardless");
+    }
+
+    #[test]
+    fn paper_cadence_is_months() {
+        let s = Schedule::paper_cadence();
+        let days = s.period.as_secs() / 86_400.0;
+        assert!((60.0..100.0).contains(&days), "cadence {days} days");
+    }
+
+    #[test]
+    fn characterization_is_logged_to_shared_healthlog() {
+        let mut node = ServerNode::new(PartSpec::arm_microserver(), 17);
+        let health = HealthLog::shared(64, ThresholdPolicy::default());
+        let mut daemon = StressLog::new(StressTargetParams::quick());
+        let _ = daemon.characterize(&mut node, Some(&health));
+        let log = health.lock();
+        assert_eq!(log.logfile().len(), 2);
+        assert!(log.logfile()[0].contains("begin characterization"));
+        assert!(log.logfile()[1].contains("safe refresh"));
+        assert_eq!(daemon.history().len(), 1);
+    }
+
+    #[test]
+    fn recharacterization_tracks_aging() {
+        // The reason the StressLog re-runs "several times over the
+        // lifetime of a server": after years of drift the safe margins
+        // shrink, and a fresh characterization discovers that.
+        let mut node = ServerNode::new(PartSpec::arm_microserver(), 23);
+        let mut daemon = StressLog::new(StressTargetParams::quick());
+        let fresh = daemon.characterize(&mut node, None);
+        node.age_by_months(48.0);
+        let aged = daemon.characterize(&mut node, None);
+        assert!(
+            aged.node_safe_offset_mv() < fresh.node_safe_offset_mv(),
+            "aged margins ({:.0} mV) must be tighter than fresh ({:.0} mV)",
+            aged.node_safe_offset_mv(),
+            fresh.node_safe_offset_mv()
+        );
+        // And the drift magnitude is in the NBTI ballpark (tens of mV).
+        let delta = fresh.node_safe_offset_mv() - aged.node_safe_offset_mv();
+        assert!((5.0..60.0).contains(&delta), "drift delta {delta} mV");
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut node = ServerNode::new(PartSpec::arm_microserver(), 19);
+        let mut daemon = StressLog::new(StressTargetParams::quick());
+        let _ = daemon.characterize(&mut node, None);
+        let _ = daemon.characterize(&mut node, None);
+        assert_eq!(daemon.history().len(), 2);
+        assert!(daemon.history()[1].produced_at > daemon.history()[0].produced_at);
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed physical quantities for the UniServer reproduction.
+//!
+//! Every model in the workspace manipulates voltages, frequencies, refresh
+//! intervals, temperatures, powers and energies. Passing bare `f64`s around
+//! invites unit bugs (millivolts vs volts, MHz vs GHz), so this crate wraps
+//! each quantity in a newtype with explicit constructors, conversions and
+//! the arithmetic that is physically meaningful — and nothing more.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniserver_units::{Volts, Megahertz, Watts, Seconds};
+//!
+//! let nominal = Volts::new(0.844);
+//! let undervolted = nominal.scaled(0.90); // 10 % below nominal
+//! assert!(undervolted < nominal);
+//!
+//! let f = Megahertz::new(2600.0);
+//! assert_eq!(f.as_ghz(), 2.6);
+//!
+//! let p = Watts::new(15.0);
+//! let e = p * Seconds::new(2.0);
+//! assert_eq!(e.as_joules(), 30.0);
+//! ```
+
+mod data;
+mod electrical;
+mod energy;
+mod frequency;
+mod ratio;
+mod thermal;
+mod time;
+
+pub use data::Bytes;
+pub use electrical::Volts;
+pub use energy::{Joules, Watts};
+pub use frequency::Megahertz;
+pub use ratio::{BitErrorRate, Ratio};
+pub use thermal::Celsius;
+pub use time::Seconds;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn volts_scaling_roundtrip(v in 0.1f64..2.0, s in 0.1f64..1.0) {
+            let base = Volts::new(v);
+            let scaled = base.scaled(s);
+            prop_assert!((scaled.as_volts() - v * s).abs() < 1e-12);
+            // Undoing the scale recovers the original to fp precision.
+            let back = scaled.scaled(1.0 / s);
+            prop_assert!((back.as_volts() - v).abs() < 1e-9);
+        }
+
+        #[test]
+        fn power_time_energy_consistency(p in 0.0f64..1000.0, t in 0.0f64..1e6) {
+            let e = Watts::new(p) * Seconds::new(t);
+            prop_assert!((e.as_joules() - p * t).abs() < 1e-6 * (1.0 + p * t));
+        }
+
+        #[test]
+        fn ratio_percent_roundtrip(x in 0.0f64..1.0) {
+            let r = Ratio::new(x);
+            prop_assert!((Ratio::from_percent(r.as_percent()).value() - x).abs() < 1e-12);
+        }
+
+        #[test]
+        fn seconds_millis_roundtrip(ms in 0.0f64..1e9) {
+            let s = Seconds::from_millis(ms);
+            prop_assert!((s.as_millis() - ms).abs() < 1e-6 * (1.0 + ms));
+        }
+
+        #[test]
+        fn bytes_ordering_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+            let (x, y) = (Bytes::new(a), Bytes::new(b));
+            prop_assert_eq!(x < y, a < b);
+            prop_assert_eq!(x + y, Bytes::new(a + b));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: deploy the full UniServer ecosystem on one modeled ARM
+//! micro-server and watch it reclaim the conservative guard-bands.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use uniserver_core::ecosystem::{DeploymentConfig, Ecosystem};
+use uniserver_units::Seconds;
+
+fn main() {
+    // Deploy: pre-deployment stress characterization, predictor
+    // training, guest launch, EOP selection — all in one call.
+    let mut eco = Ecosystem::deploy(&DeploymentConfig::quick(), 2018);
+    println!("deployed at EOP: {}", eco.operating_point().provenance);
+    println!(
+        "  weakest-core undervolt: {:.0} mV, relaxed refresh: {}",
+        eco.operating_point().min_offset_mv(),
+        eco.operating_point().relaxed_refresh
+    );
+
+    // Serve five simulated minutes.
+    for _ in 0..300 {
+        eco.run(Seconds::new(1.0));
+    }
+
+    let report = eco.savings_report();
+    println!("\nafter 5 minutes of service:");
+    println!("  node power at EOP : {}", report.eop_power);
+    println!("  conservative twin : {}", report.nominal_power);
+    println!("  energy saved      : {:.1} %", report.energy_saving_fraction * 100.0);
+    println!("  availability      : {:.4}", report.availability);
+    println!("  crashes           : {}", report.crashes);
+    println!("  recharacterizations: {}", report.recharacterizations);
+
+    assert!(report.crashes == 0, "a sound EOP does not crash");
+    assert!(report.energy_saving_fraction > 0.0);
+    println!("\nok: the node runs beyond its conservative limits, safely.");
+}

@@ -1,0 +1,7 @@
+//! Workspace root package for the UniServer reproduction.
+//!
+//! This package exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library lives
+//! in the `uniserver-*` crates; start from [`uniserver_core`].
+
+pub use uniserver_core as core;

@@ -1,0 +1,158 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! *any* input, not just the calibrated operating points.
+
+use proptest::prelude::*;
+
+use uniserver_edge::DvfsPoint;
+use uniserver_hypervisor::memdomain::{MemoryMap, Placement};
+use uniserver_silicon::retention::RetentionModel;
+use uniserver_silicon::vmin::VminModel;
+use uniserver_stress::genetic::{BlockKind, VirusGenome};
+use uniserver_units::{Bytes, Celsius, Seconds, Volts};
+
+proptest! {
+    /// Retention failure probability is monotone in the refresh
+    /// interval and in temperature, and always a probability.
+    #[test]
+    fn retention_monotonicity(
+        t1 in 0.01f64..30.0,
+        dt in 0.01f64..30.0,
+        temp in 0.0f64..90.0,
+        dtemp in 0.0f64..30.0,
+    ) {
+        let m = RetentionModel::ddr3_server();
+        let p1 = m.fail_probability(Seconds::new(t1), Celsius::new(temp));
+        let p2 = m.fail_probability(Seconds::new(t1 + dt), Celsius::new(temp));
+        let p3 = m.fail_probability(Seconds::new(t1), Celsius::new(temp + dtemp));
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 >= p1, "longer interval can't be safer: {p1} -> {p2}");
+        prop_assert!(p3 >= p1, "heat can't improve retention: {p1} -> {p3}");
+    }
+
+    /// Crash probability is monotone as supply voltage drops.
+    #[test]
+    fn crash_probability_monotone_in_voltage(
+        crash_mv in 500.0f64..1200.0,
+        v_mv in 500.0f64..1400.0,
+        dv in 1.0f64..200.0,
+    ) {
+        let m = VminModel::default();
+        let crash = Volts::from_millivolts(crash_mv);
+        let hi = m.crash_probability(Volts::from_millivolts(v_mv + dv), crash);
+        let lo = m.crash_probability(Volts::from_millivolts(v_mv), crash);
+        prop_assert!(lo >= hi, "lower voltage must be riskier: {hi} vs {lo}");
+        prop_assert!((0.0..=1.0).contains(&lo));
+    }
+
+    /// Mean crash offsets shrink (crash points move towards nominal) as
+    /// workload stress rises — §3.B's monotonicity, for any weakness.
+    #[test]
+    fn stress_monotonicity_for_any_core(
+        weakness in -0.08f64..0.08,
+        s1 in 0.0f64..1.0,
+        ds in 0.0f64..0.5,
+    ) {
+        use rand::SeedableRng;
+        let s2 = (s1 + ds).min(1.0);
+        let m = VminModel { run_jitter_sigma: 0.0, ..VminModel::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let quiet = m.crash_offset(weakness, s1, &mut rng);
+        let loud = m.crash_offset(weakness, s2, &mut rng);
+        prop_assert!(loud <= quiet + 1e-12, "stress must not widen margins: {quiet} -> {loud}");
+    }
+
+    /// Any genome's derived excitations stay in [0, 1] and a profile can
+    /// always be built from them.
+    #[test]
+    fn genome_metrics_are_bounded(blocks in proptest::collection::vec(0usize..5, 2..96)) {
+        let genome = VirusGenome::new(
+            blocks.into_iter().map(|i| BlockKind::ALL[i]).collect(),
+        );
+        for (name, v) in [
+            ("activity", genome.activity()),
+            ("didt", genome.didt()),
+            ("resonance", genome.resonance()),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+        let profile = genome.to_profile("prop");
+        prop_assert!(profile.ipc > 0.0);
+    }
+
+    /// The memory map never over-commits a domain and frees restore the
+    /// exact balance, for any interleaving that respects ownership.
+    #[test]
+    fn memory_map_balance(sizes in proptest::collection::vec(1u64..4096, 1..40)) {
+        let mut map = MemoryMap::new(Bytes::mib(64), Bytes::mib(64));
+        let mut live: Vec<Bytes> = Vec::new();
+        for s in sizes {
+            let size = Bytes::kib(s);
+            if map.allocate(Placement::Relaxed, size).is_ok() {
+                live.push(size);
+            }
+            prop_assert!(map.used(Placement::Relaxed) <= Bytes::mib(64));
+        }
+        for size in live.drain(..) {
+            map.free(Placement::Relaxed, size);
+        }
+        prop_assert_eq!(map.used(Placement::Relaxed), Bytes::ZERO);
+    }
+
+    /// When a DVFS point is returned it always meets the deadline, and
+    /// it is never returned for impossible budgets.
+    #[test]
+    fn dvfs_points_meet_their_budget(work_ms in 1.0f64..500.0, budget_ms in 1.0f64..500.0) {
+        let work = Seconds::from_millis(work_ms);
+        let budget = Seconds::from_millis(budget_ms);
+        match DvfsPoint::deepest_within(work, budget) {
+            Some(p) => {
+                prop_assert!(work <= budget);
+                prop_assert!(p.runtime(work).as_millis() <= budget.as_millis() * (1.0 + 1e-9));
+                prop_assert!(p.power_scale() <= 1.0 + 1e-9);
+            }
+            None => prop_assert!(work > budget),
+        }
+    }
+
+    /// Migration cost invariants: blackout never exceeds total duration
+    /// and traffic at least covers the working set.
+    #[test]
+    fn migration_cost_invariants(dirty in 0.001f64..0.9, bw_gbps in 0.5f64..40.0) {
+        use uniserver_cloudmgr::migrate::MigrationModel;
+        use uniserver_hypervisor::vm::{Vm, VmConfig, VmId};
+        let model = MigrationModel {
+            dirty_fraction_per_sec: dirty,
+            bandwidth_bytes_per_sec: bw_gbps * 1e9 / 8.0,
+            ..MigrationModel::ten_gbe()
+        };
+        let mut vm = Vm::launch(VmId(0), VmConfig::ldbc_benchmark());
+        vm.advance(Seconds::new(45.0));
+        let cost = model.cost(&vm);
+        prop_assert!(cost.downtime <= cost.duration);
+        prop_assert!(cost.traffic >= vm.utilized_footprint());
+        prop_assert!(cost.rounds <= model.max_rounds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// RAIDR binning conserves rows and never beats physics: the binned
+    /// refresh rate is positive and below the all-nominal rate.
+    #[test]
+    fn raidr_conserves_rows(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        use uniserver_platform::raidr::BinnedModule;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = BinnedModule::profile(
+            &RetentionModel::ddr3_server(),
+            Bytes::gib(8),
+            &[Seconds::from_millis(64.0), Seconds::new(1.0), Seconds::new(4.0)],
+            Celsius::new(55.0),
+            &mut rng,
+        );
+        prop_assert_eq!(m.total_rows(), Bytes::gib(8).as_u64() / (64 * 1024));
+        let r = m.refresh_rate_vs(Seconds::from_millis(64.0));
+        prop_assert!(r > 0.0 && r <= 1.0, "rate ratio {r}");
+    }
+}
