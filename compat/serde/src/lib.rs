@@ -1,0 +1,13 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports and
+//! re-exports the no-op derive macros from `serde_derive`. See
+//! `compat/README.md` for the substitution contract.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace annotates its model types with `#[derive(Serialize,
+//! Deserialize)]` so the real serde can be dropped in once registry access
+//! exists, but nothing actually serializes through serde today (JSON output
+//! is hand-rolled in `uniserver-bench`). These derives therefore only need
+//! to accept the input — including `#[serde(...)]` helper attributes — and
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,84 @@
+//! `fleet_sim` — parallel fleet-scale UniServer simulation.
+//!
+//! Deploys N independently manufactured ecosystems (per-node seeds
+//! derived from the fleet seed), serves each for the configured horizon,
+//! and prints a deterministic JSON fleet summary to stdout.
+//!
+//! ```text
+//! fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] [--no-per-node]
+//! ```
+//!
+//! The same `(nodes, seed, secs)` triple produces byte-identical output
+//! for any thread count — the determinism the paper's methodology
+//! demands of every experiment in this workspace.
+
+use std::process::ExitCode;
+
+use uniserver_bench::fleet::{simulate, FleetConfig};
+use uniserver_units::Seconds;
+
+struct Args {
+    nodes: usize,
+    seed: u64,
+    secs: f64,
+    threads: usize,
+    per_node: bool,
+}
+
+fn parse(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let mut args =
+        Args { nodes: 64, seed: 2018, secs: 120.0, threads: 0, per_node: true };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--no-per-node" => args.per_node = false,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    if args.secs <= 0.0 || !args.secs.is_finite() {
+        return Err("--secs must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] [--no-per-node]"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let config = FleetConfig {
+        horizon: Seconds::new(args.secs),
+        threads: args.threads,
+        ..FleetConfig::quick(args.nodes, args.seed)
+    };
+    let mut summary = simulate(&config);
+    if !args.per_node {
+        summary.per_node.clear();
+    }
+    println!("{}", summary.to_json());
+    ExitCode::SUCCESS
+}

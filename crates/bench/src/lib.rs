@@ -8,4 +8,5 @@
 //! benches exercise the same code paths at reduced sizes.
 
 pub mod experiments;
+pub mod fleet;
 pub mod render;

@@ -72,7 +72,7 @@ impl DvfsPoint {
             return None;
         }
         // t/f <= budget  =>  f >= t/budget.
-        let f = (peak_time.as_secs() / budget.as_secs()).max(0.05).min(1.0);
+        let f = (peak_time.as_secs() / budget.as_secs()).clamp(0.05, 1.0);
         let v = (0.55 + 0.45 * f).min(1.0);
         Some(DvfsPoint::new(f, v))
     }

@@ -107,7 +107,7 @@ impl Figure4 {
     #[must_use]
     pub fn sensitivity_ranking(&self) -> Vec<ObjectCategory> {
         let mut rows = self.rows.clone();
-        rows.sort_by(|a, b| b.fatal_with_load.cmp(&a.fatal_with_load));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.fatal_with_load));
         rows.into_iter().map(|r| r.category).collect()
     }
 
@@ -292,7 +292,7 @@ mod tests {
         let fig4 = fig4_unprotected();
         let loaded = fig4.sensitivity_ranking();
         let mut unloaded = fig4.rows.clone();
-        unloaded.sort_by(|a, b| b.fatal_without_load.cmp(&a.fatal_without_load));
+        unloaded.sort_by_key(|r| std::cmp::Reverse(r.fatal_without_load));
         let top3_loaded: Vec<&str> = loaded[..3].iter().map(|c| c.label()).collect();
         let top3_unloaded: Vec<&str> =
             unloaded[..3].iter().map(|r| r.category.label()).collect();

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use uniserver_units::Seconds;
 
@@ -254,8 +254,8 @@ mod tests {
         let clone = Arc::clone(&shared);
         let mut node = ServerNode::new(PartSpec::arm_microserver(), 9);
         let report = node.run_interval(&WorkloadProfile::idle(), Seconds::new(1.0));
-        clone.lock().ingest(&report);
-        assert_eq!(shared.lock().vectors().len(), 1);
+        clone.lock().unwrap().ingest(&report);
+        assert_eq!(shared.lock().unwrap().vectors().len(), 1);
     }
 
     #[test]

@@ -480,6 +480,20 @@ impl Hypervisor {
     }
 }
 
+impl Hypervisor {
+    /// Test/reporting helper: bytes allocated in the relaxed domain.
+    #[must_use]
+    pub fn memory_used_relaxed(&self) -> Bytes {
+        self.memory.used(Placement::Relaxed)
+    }
+
+    /// Test/reporting helper: retired page count.
+    #[must_use]
+    pub fn memory_retired_pages(&self) -> usize {
+        self.memory.retired_page_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,19 +641,5 @@ mod tests {
     fn stopping_unknown_vm_panics() {
         let mut hv = hypervisor();
         hv.stop_vm(VmId(99));
-    }
-}
-
-impl Hypervisor {
-    /// Test/reporting helper: bytes allocated in the relaxed domain.
-    #[must_use]
-    pub fn memory_used_relaxed(&self) -> Bytes {
-        self.memory.used(Placement::Relaxed)
-    }
-
-    /// Test/reporting helper: retired page count.
-    #[must_use]
-    pub fn memory_retired_pages(&self) -> usize {
-        self.memory.retired_page_count()
     }
 }

@@ -198,7 +198,7 @@ impl ObjectInventory {
                     id,
                     category: cat,
                     // Object sizes: a few words up to a few KiB, log-ish.
-                    size: Bytes::new(8 << rng.gen_range(0..8)),
+                    size: Bytes::new(8u64 << rng.gen_range(0..8u32)),
                     value,
                     pristine: value,
                 });

@@ -98,13 +98,19 @@ impl CacheSubsystem {
     pub fn sample_interval<R: Rng + ?Sized>(
         &self,
         v: Volts,
+        nominal: Volts,
         crash_reference: Volts,
         vmin: &VminModel,
         rng: &mut R,
     ) -> Vec<BankCeSample> {
         let mut out = Vec::new();
+        // Outgoing manufacturing test rejects parts that log corrected
+        // errors at stock settings, so a shipped bank's onset is always
+        // strictly below nominal no matter how weak the die: screen the
+        // sampled onset to just under the stock voltage.
+        let screened = Volts::from_millivolts(nominal.as_millivolts() - 1.0);
         for bank in self.banks.iter().filter(|b| !b.isolated) {
-            let onset = vmin.cache_onset_voltage(crash_reference, bank.weakness, rng);
+            let onset = vmin.cache_onset_voltage(crash_reference, bank.weakness, rng).min(screened);
             let corrected = vmin.cache_ce_count(v, onset, rng);
             if corrected > 0 {
                 out.push(BankCeSample { bank: bank.index, corrected });
@@ -145,7 +151,7 @@ mod tests {
         // Deep undervolt: every active bank produces CEs.
         let crash = Volts::from_millivolts(760.0);
         let samples =
-            s.sample_interval(Volts::from_millivolts(700.0), crash, &VminModel::default(), &mut rng);
+            s.sample_interval(Volts::from_millivolts(700.0), Volts::from_millivolts(844.0), crash, &VminModel::default(), &mut rng);
         assert!(samples.iter().all(|c| c.bank >= 2), "isolated banks must stay silent");
         assert!(!samples.is_empty());
     }
@@ -165,7 +171,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let crash = Volts::from_millivolts(760.0);
         let samples =
-            s.sample_interval(Volts::from_millivolts(844.0), crash, &VminModel::default(), &mut rng);
+            s.sample_interval(Volts::from_millivolts(844.0), Volts::from_millivolts(844.0), crash, &VminModel::default(), &mut rng);
         assert!(samples.is_empty(), "nominal voltage must be CE-free, got {samples:?}");
     }
 
@@ -189,7 +195,7 @@ mod tests {
         let total = |v_mv: f64, rng: &mut StdRng| -> u64 {
             (0..50)
                 .map(|_| {
-                    s.sample_interval(Volts::from_millivolts(v_mv), crash, &vmin, rng)
+                    s.sample_interval(Volts::from_millivolts(v_mv), Volts::from_millivolts(844.0), crash, &vmin, rng)
                         .iter()
                         .map(|c| c.corrected)
                         .sum::<u64>()

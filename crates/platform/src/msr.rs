@@ -110,6 +110,13 @@ impl MsrFile {
         self.refresh.len()
     }
 
+    /// Hardware limit on the undervolt offset magnitude, in millivolts.
+    /// Campaigns must clamp their sweeps to this; writes beyond it fail.
+    #[must_use]
+    pub fn offset_limit_mv(&self) -> f64 {
+        self.offset_limit_mv
+    }
+
     /// Writes an undervolt offset (millivolts below nominal) for a core.
     ///
     /// # Errors

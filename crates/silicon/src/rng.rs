@@ -100,6 +100,19 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     count
 }
 
+/// SplitMix64 finalizer: a cheap stateless mixer for deriving
+/// independent seeds/words from an index (also the xoshiro seeding
+/// recommended by its authors). The single workspace copy — pattern
+/// generators and the fleet driver both key their streams off it.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Samples `true` with probability `p` (clamped into `[0, 1]`).
 pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
     rng.gen::<f64>() < p.clamp(0.0, 1.0)

@@ -93,7 +93,7 @@ impl VirusGenome {
         assert!(len >= 2, "a virus needs at least two blocks");
         let half = RESONANCE_PERIOD / 2;
         let blocks = (0..len)
-            .map(|i| if (i / half) % 2 == 0 { BlockKind::Simd } else { BlockKind::Idle })
+            .map(|i| if (i / half).is_multiple_of(2) { BlockKind::Simd } else { BlockKind::Idle })
             .collect();
         VirusGenome { blocks }
     }

@@ -10,6 +10,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use uniserver_silicon::rng::splitmix64;
+
 /// A memory test pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TestPattern {
@@ -35,7 +37,7 @@ impl TestPattern {
         match self {
             TestPattern::Random { seed } => splitmix64(i ^ seed),
             TestPattern::Checkerboard => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     0xAAAA_AAAA_AAAA_AAAA
                 } else {
                     0x5555_5555_5555_5555
@@ -80,15 +82,6 @@ impl TestPattern {
             other => other.detection_coverage(),
         }
     }
-}
-
-/// SplitMix64: cheap stateless pseudo-random word generator.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

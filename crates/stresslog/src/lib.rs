@@ -196,7 +196,7 @@ impl StressLog {
         health: Option<&SharedHealthLog>,
     ) -> MarginVector {
         if let Some(h) = health {
-            h.lock().log_note(format!(
+            h.lock().unwrap().log_note(format!(
                 "stresslog: begin characterization of '{}' at t={:.1}s",
                 node.part().name,
                 node.now().as_secs()
@@ -236,7 +236,7 @@ impl StressLog {
             summary: Table2Summary::from_shmoo(&shmoo),
         };
         if let Some(h) = health {
-            h.lock().log_note(format!(
+            h.lock().unwrap().log_note(format!(
                 "stresslog: done; node-safe offset {:.0} mV, safe refresh {}",
                 vector.node_safe_offset_mv(),
                 vector.safe_refresh
@@ -343,7 +343,7 @@ mod tests {
         let health = HealthLog::shared(64, ThresholdPolicy::default());
         let mut daemon = StressLog::new(StressTargetParams::quick());
         let _ = daemon.characterize(&mut node, Some(&health));
-        let log = health.lock();
+        let log = health.lock().unwrap();
         assert_eq!(log.logfile().len(), 2);
         assert!(log.logfile()[0].contains("begin characterization"));
         assert!(log.logfile()[1].contains("safe refresh"));

@@ -1,0 +1,89 @@
+//! Focused unit tests for the typed quantities: arithmetic,
+//! unit conversions, and ratio/percent round-trips.
+
+use uniserver_units::{
+    Bytes, Celsius, Joules, Megahertz, Ratio, Seconds, Volts, Watts,
+};
+
+#[test]
+fn volts_conversions_round_trip() {
+    let v = Volts::new(0.980);
+    assert!((v.as_millivolts() - 980.0).abs() < 1e-12);
+    let back = Volts::from_millivolts(v.as_millivolts());
+    assert!((back.as_volts() - v.as_volts()).abs() < 1e-15);
+}
+
+#[test]
+fn volts_scaling_is_linear() {
+    let v = Volts::new(1.0);
+    assert!((v.scaled(0.88).as_volts() - 0.88).abs() < 1e-15);
+    assert!((v.scaled(0.0).as_volts()).abs() < 1e-15);
+}
+
+#[test]
+fn seconds_millis_round_trip() {
+    let s = Seconds::from_millis(64.0);
+    assert!((s.as_secs() - 0.064).abs() < 1e-15);
+    assert!((s.as_millis() - 64.0).abs() < 1e-12);
+    assert_eq!(Seconds::ZERO.as_secs(), 0.0);
+}
+
+#[test]
+fn seconds_arithmetic() {
+    let a = Seconds::new(1.5);
+    let b = Seconds::new(0.5);
+    assert!(((a + b).as_secs() - 2.0).abs() < 1e-15);
+    assert!(a > b);
+    assert!((a.saturating_sub(b).as_secs() - 1.0).abs() < 1e-15);
+    assert_eq!(b.saturating_sub(a), Seconds::ZERO, "durations never go negative");
+}
+
+#[test]
+fn energy_is_power_times_time() {
+    let e = Watts::new(35.0) * Seconds::new(10.0);
+    assert!((e.as_joules() - 350.0).abs() < 1e-9);
+    let sum = e + Joules::new(50.0);
+    assert!((sum.as_joules() - 400.0).abs() < 1e-9);
+}
+
+#[test]
+fn frequency_conversions() {
+    let f = Megahertz::from_ghz(2.4);
+    assert!((f.as_mhz() - 2400.0).abs() < 1e-9);
+    assert!((f.as_ghz() - 2.4).abs() < 1e-12);
+}
+
+#[test]
+fn bytes_units_compose() {
+    assert_eq!(Bytes::kib(1).as_u64(), 1024);
+    assert_eq!(Bytes::mib(1).as_u64(), 1024 * 1024);
+    assert_eq!(Bytes::gib(8).as_u64(), 8 * 1024 * 1024 * 1024);
+    assert_eq!(Bytes::mib(1), Bytes::kib(1024));
+    assert_eq!((Bytes::mib(2) + Bytes::mib(3)).as_u64(), Bytes::mib(5).as_u64());
+    assert_eq!(Bytes::ZERO.as_u64(), 0);
+}
+
+#[test]
+fn celsius_delta_above() {
+    let t = Celsius::new(55.0);
+    assert!((t.delta_above(Celsius::new(25.0)) - 30.0).abs() < 1e-12);
+    assert!(Celsius::new(20.0) < t);
+}
+
+#[test]
+fn ratio_percent_round_trips() {
+    for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = Ratio::new(x);
+        assert!((Ratio::from_percent(r.as_percent()).value() - x).abs() < 1e-15);
+    }
+    assert!((Ratio::from_percent(12.5).value() - 0.125).abs() < 1e-15);
+}
+
+#[test]
+fn ratio_complement_and_product() {
+    let r = Ratio::new(0.3);
+    assert!((r.complement().value() - 0.7).abs() < 1e-15);
+    assert!((r.complement().complement().value() - 0.3).abs() < 1e-15);
+    let p = Ratio::new(0.5) * Ratio::new(0.5);
+    assert!((p.value() - 0.25).abs() < 1e-15);
+}

@@ -69,3 +69,31 @@ fn cross_crate_seed_isolation() {
         assert_eq!(r1, r2, "interleaved activity must not change a node's trajectory");
     }
 }
+
+#[test]
+fn fleet_summary_json_is_bit_stable() {
+    // The fleet driver's contract: same seed → byte-identical aggregated
+    // JSON, for any worker count (parallelism must not leak into results).
+    use uniserver_bench::fleet::{simulate, FleetConfig};
+
+    let config = FleetConfig {
+        horizon: Seconds::new(20.0),
+        ..FleetConfig::quick(6, 2018)
+    };
+    let first = simulate(&config).to_json();
+    let second = simulate(&config).to_json();
+    assert_eq!(first, second, "same config must render identical JSON");
+
+    let serial = simulate(&FleetConfig { threads: 1, ..config.clone() }).to_json();
+    let wide = simulate(&FleetConfig { threads: 5, ..config }).to_json();
+    assert_eq!(first, serial, "thread count must not change the summary");
+    assert_eq!(first, wide, "uneven shards must not change the summary");
+
+    // And the seed genuinely matters.
+    let other = simulate(&FleetConfig {
+        horizon: Seconds::new(20.0),
+        ..FleetConfig::quick(6, 2019)
+    })
+    .to_json();
+    assert_ne!(first, other, "different fleet seeds must differ");
+}
