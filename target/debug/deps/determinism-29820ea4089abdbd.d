@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-29820ea4089abdbd.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-29820ea4089abdbd.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

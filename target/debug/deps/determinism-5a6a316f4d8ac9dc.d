@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5a6a316f4d8ac9dc.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5a6a316f4d8ac9dc: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-2cf5b7163ea255f9.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-2cf5b7163ea255f9: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_shapes-8d3ce97845e8d7a4.d: tests/experiment_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_shapes-8d3ce97845e8d7a4.rmeta: tests/experiment_shapes.rs Cargo.toml
+
+tests/experiment_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-f5d48c4d9f11e3f3.d: crates/bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-f5d48c4d9f11e3f3.rmeta: crates/bench/benches/experiments.rs Cargo.toml
+
+crates/bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

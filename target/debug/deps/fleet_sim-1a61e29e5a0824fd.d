@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_sim-1a61e29e5a0824fd.d: crates/bench/src/bin/fleet_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_sim-1a61e29e5a0824fd.rmeta: crates/bench/src/bin/fleet_sim.rs Cargo.toml
+
+crates/bench/src/bin/fleet_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

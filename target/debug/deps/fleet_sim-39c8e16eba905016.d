@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_sim-39c8e16eba905016.d: crates/bench/src/bin/fleet_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_sim-39c8e16eba905016.rmeta: crates/bench/src/bin/fleet_sim.rs Cargo.toml
+
+crates/bench/src/bin/fleet_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

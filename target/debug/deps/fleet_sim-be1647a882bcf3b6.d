@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_sim-be1647a882bcf3b6.d: crates/bench/src/bin/fleet_sim.rs
+
+/root/repo/target/debug/deps/fleet_sim-be1647a882bcf3b6: crates/bench/src/bin/fleet_sim.rs
+
+crates/bench/src/bin/fleet_sim.rs:

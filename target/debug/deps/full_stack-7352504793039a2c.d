@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-7352504793039a2c.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-7352504793039a2c: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-ade9625c04ac0046.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-ade9625c04ac0046.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

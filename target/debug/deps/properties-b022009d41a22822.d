@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b022009d41a22822.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b022009d41a22822: tests/properties.rs
+
+tests/properties.rs:

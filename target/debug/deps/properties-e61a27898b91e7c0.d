@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e61a27898b91e7c0.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e61a27898b91e7c0.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

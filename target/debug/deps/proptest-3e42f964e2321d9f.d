@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3e42f964e2321d9f.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3e42f964e2321d9f.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3e42f964e2321d9f.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-650b31b4b98c0385.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-650b31b4b98c0385.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-83c8ee6bb91fcd6e.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-83c8ee6bb91fcd6e: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

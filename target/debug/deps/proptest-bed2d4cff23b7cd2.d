@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-bed2d4cff23b7cd2.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-bed2d4cff23b7cd2.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

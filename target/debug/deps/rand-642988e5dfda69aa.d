@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-642988e5dfda69aa.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-642988e5dfda69aa.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-642988e5dfda69aa.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-8214354f3e0a67a4.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-8214354f3e0a67a4.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

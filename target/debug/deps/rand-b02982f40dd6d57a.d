@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b02982f40dd6d57a.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b02982f40dd6d57a: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-ebd2d85574fadac7.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-ebd2d85574fadac7.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d5093debcb850948.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d5093debcb850948: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

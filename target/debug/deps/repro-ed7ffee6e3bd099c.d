@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-ed7ffee6e3bd099c.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-ed7ffee6e3bd099c.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-601a6359c88d82f8.d: tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-601a6359c88d82f8: tests/resilience.rs
+
+tests/resilience.rs:

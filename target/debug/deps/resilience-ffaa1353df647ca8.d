@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-ffaa1353df647ca8.d: tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-ffaa1353df647ca8.rmeta: tests/resilience.rs Cargo.toml
+
+tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

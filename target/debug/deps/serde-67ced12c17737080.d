@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-67ced12c17737080.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-67ced12c17737080: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

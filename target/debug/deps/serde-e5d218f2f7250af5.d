@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e5d218f2f7250af5.d: compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e5d218f2f7250af5.rmeta: compat/serde/src/lib.rs Cargo.toml
+
+compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

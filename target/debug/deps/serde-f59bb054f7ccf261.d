@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f59bb054f7ccf261.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f59bb054f7ccf261.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f59bb054f7ccf261.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

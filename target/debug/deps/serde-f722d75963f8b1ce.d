@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-f722d75963f8b1ce.d: compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-f722d75963f8b1ce.rmeta: compat/serde/src/lib.rs Cargo.toml
+
+compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

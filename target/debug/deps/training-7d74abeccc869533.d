@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-7d74abeccc869533.d: crates/predictor/tests/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-7d74abeccc869533.rmeta: crates/predictor/tests/training.rs Cargo.toml
+
+crates/predictor/tests/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training-bf8f054997137d0f.d: crates/predictor/tests/training.rs
+
+/root/repo/target/debug/deps/training-bf8f054997137d0f: crates/predictor/tests/training.rs
+
+crates/predictor/tests/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniserver-2cc4da7c8b6ac4c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/uniserver-2cc4da7c8b6ac4c5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uniserver-40de4f0a2109f73d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver-40de4f0a2109f73d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver-40de4f0a2109f73d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver-bfe839494d9a310b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver-bfe839494d9a310b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

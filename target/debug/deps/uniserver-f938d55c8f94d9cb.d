@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver-f938d55c8f94d9cb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver-f938d55c8f94d9cb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

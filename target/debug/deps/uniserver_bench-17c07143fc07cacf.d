@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniserver_bench-17c07143fc07cacf.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/uniserver_bench-17c07143fc07cacf: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:

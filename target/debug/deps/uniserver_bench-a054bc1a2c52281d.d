@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_bench-a054bc1a2c52281d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_bench-a054bc1a2c52281d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_bench-a762a4284e857830.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_bench-a762a4284e857830.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

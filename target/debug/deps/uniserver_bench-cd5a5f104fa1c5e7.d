@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniserver_bench-cd5a5f104fa1c5e7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libuniserver_bench-cd5a5f104fa1c5e7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libuniserver_bench-cd5a5f104fa1c5e7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:

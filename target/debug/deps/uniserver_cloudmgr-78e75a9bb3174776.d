@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_cloudmgr-78e75a9bb3174776.d: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/debug/deps/uniserver_cloudmgr-78e75a9bb3174776: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+crates/cloudmgr/src/lib.rs:
+crates/cloudmgr/src/cluster.rs:
+crates/cloudmgr/src/failure.rs:
+crates/cloudmgr/src/migrate.rs:
+crates/cloudmgr/src/node.rs:
+crates/cloudmgr/src/scheduler.rs:
+crates/cloudmgr/src/sla.rs:
+crates/cloudmgr/src/stream.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniserver_cloudmgr-dd8575de30746d28.d: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/debug/deps/libuniserver_cloudmgr-dd8575de30746d28.rlib: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/debug/deps/libuniserver_cloudmgr-dd8575de30746d28.rmeta: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+crates/cloudmgr/src/lib.rs:
+crates/cloudmgr/src/cluster.rs:
+crates/cloudmgr/src/failure.rs:
+crates/cloudmgr/src/migrate.rs:
+crates/cloudmgr/src/node.rs:
+crates/cloudmgr/src/scheduler.rs:
+crates/cloudmgr/src/sla.rs:
+crates/cloudmgr/src/stream.rs:

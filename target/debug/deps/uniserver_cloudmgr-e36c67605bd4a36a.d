@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/uniserver_cloudmgr-e36c67605bd4a36a.d: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_cloudmgr-e36c67605bd4a36a.rmeta: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs Cargo.toml
+
+crates/cloudmgr/src/lib.rs:
+crates/cloudmgr/src/cluster.rs:
+crates/cloudmgr/src/failure.rs:
+crates/cloudmgr/src/migrate.rs:
+crates/cloudmgr/src/node.rs:
+crates/cloudmgr/src/scheduler.rs:
+crates/cloudmgr/src/sla.rs:
+crates/cloudmgr/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_core-5329622dd474d2e5.d: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/debug/deps/uniserver_core-5329622dd474d2e5: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ecosystem.rs:
+crates/core/src/eop.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/security.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniserver_core-64ec71616ef14ff7.d: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/debug/deps/libuniserver_core-64ec71616ef14ff7.rlib: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/debug/deps/libuniserver_core-64ec71616ef14ff7.rmeta: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ecosystem.rs:
+crates/core/src/eop.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/security.rs:

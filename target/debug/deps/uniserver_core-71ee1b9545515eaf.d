@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniserver_core-71ee1b9545515eaf.d: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_core-71ee1b9545515eaf.rmeta: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ecosystem.rs:
+crates/core/src/eop.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniserver_edge-3c77831b7a45dbfe.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_edge-3c77831b7a45dbfe.rmeta: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs Cargo.toml
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_edge-44c9f31f6dfc3109.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/debug/deps/libuniserver_edge-44c9f31f6dfc3109.rlib: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/debug/deps/libuniserver_edge-44c9f31f6dfc3109.rmeta: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uniserver_edge-9dde74c897108a5d.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/debug/deps/uniserver_edge-9dde74c897108a5d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniserver_edge-cfe572d0a001b399.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_edge-cfe572d0a001b399.rmeta: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs Cargo.toml
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

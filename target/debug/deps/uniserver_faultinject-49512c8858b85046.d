@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uniserver_faultinject-49512c8858b85046.d: crates/faultinject/src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver_faultinject-49512c8858b85046.rlib: crates/faultinject/src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver_faultinject-49512c8858b85046.rmeta: crates/faultinject/src/lib.rs
+
+crates/faultinject/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_faultinject-4b0e6fdf76bf33f0.d: crates/faultinject/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_faultinject-4b0e6fdf76bf33f0.rmeta: crates/faultinject/src/lib.rs Cargo.toml
+
+crates/faultinject/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

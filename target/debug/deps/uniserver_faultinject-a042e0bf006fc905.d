@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniserver_faultinject-a042e0bf006fc905.d: crates/faultinject/src/lib.rs
+
+/root/repo/target/debug/deps/uniserver_faultinject-a042e0bf006fc905: crates/faultinject/src/lib.rs
+
+crates/faultinject/src/lib.rs:

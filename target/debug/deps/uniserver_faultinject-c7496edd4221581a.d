@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_faultinject-c7496edd4221581a.d: crates/faultinject/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_faultinject-c7496edd4221581a.rmeta: crates/faultinject/src/lib.rs Cargo.toml
+
+crates/faultinject/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_healthlog-1fa57c4012411493.d: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_healthlog-1fa57c4012411493.rmeta: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs Cargo.toml
+
+crates/healthlog/src/lib.rs:
+crates/healthlog/src/daemon.rs:
+crates/healthlog/src/ledger.rs:
+crates/healthlog/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

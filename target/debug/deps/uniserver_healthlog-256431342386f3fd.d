@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uniserver_healthlog-256431342386f3fd.d: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/debug/deps/uniserver_healthlog-256431342386f3fd: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+crates/healthlog/src/lib.rs:
+crates/healthlog/src/daemon.rs:
+crates/healthlog/src/ledger.rs:
+crates/healthlog/src/vector.rs:

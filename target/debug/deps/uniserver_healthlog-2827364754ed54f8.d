@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniserver_healthlog-2827364754ed54f8.d: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/debug/deps/libuniserver_healthlog-2827364754ed54f8.rlib: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/debug/deps/libuniserver_healthlog-2827364754ed54f8.rmeta: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+crates/healthlog/src/lib.rs:
+crates/healthlog/src/daemon.rs:
+crates/healthlog/src/ledger.rs:
+crates/healthlog/src/vector.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_hypervisor-54a6b382fdb17286.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/debug/deps/libuniserver_hypervisor-54a6b382fdb17286.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/debug/deps/libuniserver_hypervisor-54a6b382fdb17286.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/hypervisor.rs:
+crates/hypervisor/src/memdomain.rs:
+crates/hypervisor/src/objects.rs:
+crates/hypervisor/src/protect.rs:
+crates/hypervisor/src/vm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniserver_hypervisor-5b1e0761c5c34e21.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_hypervisor-5b1e0761c5c34e21.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs Cargo.toml
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/hypervisor.rs:
+crates/hypervisor/src/memdomain.rs:
+crates/hypervisor/src/objects.rs:
+crates/hypervisor/src/protect.rs:
+crates/hypervisor/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniserver_hypervisor-6b0b9ddfd62da55c.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/debug/deps/uniserver_hypervisor-6b0b9ddfd62da55c: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/hypervisor.rs:
+crates/hypervisor/src/memdomain.rs:
+crates/hypervisor/src/objects.rs:
+crates/hypervisor/src/protect.rs:
+crates/hypervisor/src/vm.rs:

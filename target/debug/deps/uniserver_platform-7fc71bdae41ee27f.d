@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uniserver_platform-7fc71bdae41ee27f.d: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/uniserver_platform-7fc71bdae41ee27f: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cache.rs:
+crates/platform/src/dram.rs:
+crates/platform/src/mca.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/part.rs:
+crates/platform/src/pmu.rs:
+crates/platform/src/raidr.rs:
+crates/platform/src/sensors.rs:
+crates/platform/src/workload.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/uniserver_platform-9da273ac4631ccd6.d: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_platform-9da273ac4631ccd6.rmeta: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/cache.rs:
+crates/platform/src/dram.rs:
+crates/platform/src/mca.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/part.rs:
+crates/platform/src/pmu.rs:
+crates/platform/src/raidr.rs:
+crates/platform/src/sensors.rs:
+crates/platform/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

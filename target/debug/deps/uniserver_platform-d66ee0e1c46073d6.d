@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uniserver_platform-d66ee0e1c46073d6.d: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/libuniserver_platform-d66ee0e1c46073d6.rlib: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/debug/deps/libuniserver_platform-d66ee0e1c46073d6.rmeta: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cache.rs:
+crates/platform/src/dram.rs:
+crates/platform/src/mca.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/part.rs:
+crates/platform/src/pmu.rs:
+crates/platform/src/raidr.rs:
+crates/platform/src/sensors.rs:
+crates/platform/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniserver_predictor-67ea8ff628847436.d: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_predictor-67ea8ff628847436.rmeta: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/advisor.rs:
+crates/predictor/src/bayes.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/harness.rs:
+crates/predictor/src/logistic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_predictor-99698608dfea794a.d: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/debug/deps/libuniserver_predictor-99698608dfea794a.rlib: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/debug/deps/libuniserver_predictor-99698608dfea794a.rmeta: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/advisor.rs:
+crates/predictor/src/bayes.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/harness.rs:
+crates/predictor/src/logistic.rs:

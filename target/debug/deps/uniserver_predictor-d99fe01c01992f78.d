@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uniserver_predictor-d99fe01c01992f78.d: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/debug/deps/uniserver_predictor-d99fe01c01992f78: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/advisor.rs:
+crates/predictor/src/bayes.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/harness.rs:
+crates/predictor/src/logistic.rs:

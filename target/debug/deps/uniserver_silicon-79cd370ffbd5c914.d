@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/uniserver_silicon-79cd370ffbd5c914.d: crates/silicon/src/lib.rs crates/silicon/src/aging.rs crates/silicon/src/binning.rs crates/silicon/src/comparisons.rs crates/silicon/src/droop.rs crates/silicon/src/ecc.rs crates/silicon/src/faults.rs crates/silicon/src/guardband.rs crates/silicon/src/math.rs crates/silicon/src/power.rs crates/silicon/src/retention.rs crates/silicon/src/rng.rs crates/silicon/src/variation.rs crates/silicon/src/vmin.rs
+
+/root/repo/target/debug/deps/libuniserver_silicon-79cd370ffbd5c914.rlib: crates/silicon/src/lib.rs crates/silicon/src/aging.rs crates/silicon/src/binning.rs crates/silicon/src/comparisons.rs crates/silicon/src/droop.rs crates/silicon/src/ecc.rs crates/silicon/src/faults.rs crates/silicon/src/guardband.rs crates/silicon/src/math.rs crates/silicon/src/power.rs crates/silicon/src/retention.rs crates/silicon/src/rng.rs crates/silicon/src/variation.rs crates/silicon/src/vmin.rs
+
+/root/repo/target/debug/deps/libuniserver_silicon-79cd370ffbd5c914.rmeta: crates/silicon/src/lib.rs crates/silicon/src/aging.rs crates/silicon/src/binning.rs crates/silicon/src/comparisons.rs crates/silicon/src/droop.rs crates/silicon/src/ecc.rs crates/silicon/src/faults.rs crates/silicon/src/guardband.rs crates/silicon/src/math.rs crates/silicon/src/power.rs crates/silicon/src/retention.rs crates/silicon/src/rng.rs crates/silicon/src/variation.rs crates/silicon/src/vmin.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/aging.rs:
+crates/silicon/src/binning.rs:
+crates/silicon/src/comparisons.rs:
+crates/silicon/src/droop.rs:
+crates/silicon/src/ecc.rs:
+crates/silicon/src/faults.rs:
+crates/silicon/src/guardband.rs:
+crates/silicon/src/math.rs:
+crates/silicon/src/power.rs:
+crates/silicon/src/retention.rs:
+crates/silicon/src/rng.rs:
+crates/silicon/src/variation.rs:
+crates/silicon/src/vmin.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniserver_stress-4514b1fe64f2096b.d: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/debug/deps/libuniserver_stress-4514b1fe64f2096b.rlib: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/debug/deps/libuniserver_stress-4514b1fe64f2096b.rmeta: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+crates/stress/src/lib.rs:
+crates/stress/src/campaign.rs:
+crates/stress/src/genetic.rs:
+crates/stress/src/kernels.rs:
+crates/stress/src/patterns.rs:

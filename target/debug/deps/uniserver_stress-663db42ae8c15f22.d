@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_stress-663db42ae8c15f22.d: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/debug/deps/uniserver_stress-663db42ae8c15f22: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+crates/stress/src/lib.rs:
+crates/stress/src/campaign.rs:
+crates/stress/src/genetic.rs:
+crates/stress/src/kernels.rs:
+crates/stress/src/patterns.rs:

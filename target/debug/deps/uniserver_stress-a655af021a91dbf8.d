@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniserver_stress-a655af021a91dbf8.d: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_stress-a655af021a91dbf8.rmeta: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs Cargo.toml
+
+crates/stress/src/lib.rs:
+crates/stress/src/campaign.rs:
+crates/stress/src/genetic.rs:
+crates/stress/src/kernels.rs:
+crates/stress/src/patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uniserver_stresslog-1b5a9b10000aac49.d: crates/stresslog/src/lib.rs
+
+/root/repo/target/debug/deps/uniserver_stresslog-1b5a9b10000aac49: crates/stresslog/src/lib.rs
+
+crates/stresslog/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_stresslog-67cc64a52fd3e553.d: crates/stresslog/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_stresslog-67cc64a52fd3e553.rmeta: crates/stresslog/src/lib.rs Cargo.toml
+
+crates/stresslog/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uniserver_stresslog-9e1a7442f8715ca0.d: crates/stresslog/src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver_stresslog-9e1a7442f8715ca0.rlib: crates/stresslog/src/lib.rs
+
+/root/repo/target/debug/deps/libuniserver_stresslog-9e1a7442f8715ca0.rmeta: crates/stresslog/src/lib.rs
+
+crates/stresslog/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_stresslog-b4142dad30ee0405.d: crates/stresslog/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_stresslog-b4142dad30ee0405.rmeta: crates/stresslog/src/lib.rs Cargo.toml
+
+crates/stresslog/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniserver_tco-1ae1e3dd27a53a48.d: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_tco-1ae1e3dd27a53a48.rmeta: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs Cargo.toml
+
+crates/tco/src/lib.rs:
+crates/tco/src/explore.rs:
+crates/tco/src/factors.rs:
+crates/tco/src/model.rs:
+crates/tco/src/yield_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

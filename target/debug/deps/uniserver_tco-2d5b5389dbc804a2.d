@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uniserver_tco-2d5b5389dbc804a2.d: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+/root/repo/target/debug/deps/uniserver_tco-2d5b5389dbc804a2: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+crates/tco/src/lib.rs:
+crates/tco/src/explore.rs:
+crates/tco/src/factors.rs:
+crates/tco/src/model.rs:
+crates/tco/src/yield_model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uniserver_tco-61f1a40aecd1ab9b.d: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_tco-61f1a40aecd1ab9b.rmeta: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs Cargo.toml
+
+crates/tco/src/lib.rs:
+crates/tco/src/explore.rs:
+crates/tco/src/factors.rs:
+crates/tco/src/model.rs:
+crates/tco/src/yield_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uniserver_tco-daa5bdb0906a02be.d: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+/root/repo/target/debug/deps/libuniserver_tco-daa5bdb0906a02be.rlib: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+/root/repo/target/debug/deps/libuniserver_tco-daa5bdb0906a02be.rmeta: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+crates/tco/src/lib.rs:
+crates/tco/src/explore.rs:
+crates/tco/src/factors.rs:
+crates/tco/src/model.rs:
+crates/tco/src/yield_model.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/uniserver_units-45cbd23f63857e3a.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuniserver_units-45cbd23f63857e3a.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/electrical.rs:
+crates/units/src/energy.rs:
+crates/units/src/frequency.rs:
+crates/units/src/ratio.rs:
+crates/units/src/thermal.rs:
+crates/units/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

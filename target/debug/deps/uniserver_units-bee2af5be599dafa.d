@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/uniserver_units-bee2af5be599dafa.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/uniserver_units-bee2af5be599dafa: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/electrical.rs:
+crates/units/src/energy.rs:
+crates/units/src/frequency.rs:
+crates/units/src/ratio.rs:
+crates/units/src/thermal.rs:
+crates/units/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/uniserver_units-e95f5bc75c4e1324.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libuniserver_units-e95f5bc75c4e1324.rlib: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/debug/deps/libuniserver_units-e95f5bc75c4e1324.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/electrical.rs:
+crates/units/src/energy.rs:
+crates/units/src/frequency.rs:
+crates/units/src/ratio.rs:
+crates/units/src/thermal.rs:
+crates/units/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/units-59fa3175c78ce445.d: crates/units/tests/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunits-59fa3175c78ce445.rmeta: crates/units/tests/units.rs Cargo.toml
+
+crates/units/tests/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/units-cd9076f97fc23684.d: crates/units/tests/units.rs
+
+/root/repo/target/debug/deps/units-cd9076f97fc23684: crates/units/tests/units.rs
+
+crates/units/tests/units.rs:

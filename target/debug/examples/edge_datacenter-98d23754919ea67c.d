@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_datacenter-98d23754919ea67c.d: examples/edge_datacenter.rs
+
+/root/repo/target/debug/examples/edge_datacenter-98d23754919ea67c: examples/edge_datacenter.rs
+
+examples/edge_datacenter.rs:

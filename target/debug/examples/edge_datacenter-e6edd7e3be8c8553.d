@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_datacenter-e6edd7e3be8c8553.d: examples/edge_datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_datacenter-e6edd7e3be8c8553.rmeta: examples/edge_datacenter.rs Cargo.toml
+
+examples/edge_datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_characterization-6e25f47ff16f76cf.d: examples/fleet_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_characterization-6e25f47ff16f76cf.rmeta: examples/fleet_characterization.rs Cargo.toml
+
+examples/fleet_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

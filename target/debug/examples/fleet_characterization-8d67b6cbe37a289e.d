@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_characterization-8d67b6cbe37a289e.d: examples/fleet_characterization.rs
+
+/root/repo/target/debug/examples/fleet_characterization-8d67b6cbe37a289e: examples/fleet_characterization.rs
+
+examples/fleet_characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-74dbe7a2fb612abd.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-74dbe7a2fb612abd.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e4f6c44609ddbaaf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e4f6c44609ddbaaf: examples/quickstart.rs
+
+examples/quickstart.rs:

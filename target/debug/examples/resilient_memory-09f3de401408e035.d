@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_memory-09f3de401408e035.d: examples/resilient_memory.rs
+
+/root/repo/target/debug/examples/resilient_memory-09f3de401408e035: examples/resilient_memory.rs
+
+examples/resilient_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_memory-6e81005dd27e0f18.d: examples/resilient_memory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_memory-6e81005dd27e0f18.rmeta: examples/resilient_memory.rs Cargo.toml
+
+examples/resilient_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/undervolt_characterization-951f46d0ded8e9cd.d: examples/undervolt_characterization.rs
+
+/root/repo/target/debug/examples/undervolt_characterization-951f46d0ded8e9cd: examples/undervolt_characterization.rs
+
+examples/undervolt_characterization.rs:

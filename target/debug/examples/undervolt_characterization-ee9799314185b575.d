@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/undervolt_characterization-ee9799314185b575.d: examples/undervolt_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libundervolt_characterization-ee9799314185b575.rmeta: examples/undervolt_characterization.rs Cargo.toml
+
+examples/undervolt_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

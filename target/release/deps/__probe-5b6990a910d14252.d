@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe-5b6990a910d14252.d: crates/predictor/tests/__probe.rs
+
+/root/repo/target/release/deps/__probe-5b6990a910d14252: crates/predictor/tests/__probe.rs
+
+crates/predictor/tests/__probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe2-3b52403ad27e8fbe.d: tests/__probe2.rs
+
+/root/repo/target/release/deps/__probe2-3b52403ad27e8fbe: tests/__probe2.rs
+
+tests/__probe2.rs:

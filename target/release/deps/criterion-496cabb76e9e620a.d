@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-496cabb76e9e620a.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-496cabb76e9e620a: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-e4f1c0d55899c436.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-e4f1c0d55899c436: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiment_shapes-cb837bd736f0454e.d: tests/experiment_shapes.rs
+
+/root/repo/target/release/deps/experiment_shapes-cb837bd736f0454e: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_sim-881f6d658c44cc3c.d: crates/bench/src/bin/fleet_sim.rs
+
+/root/repo/target/release/deps/fleet_sim-881f6d658c44cc3c: crates/bench/src/bin/fleet_sim.rs
+
+crates/bench/src/bin/fleet_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_sim-f21b56eb0373082b.d: crates/bench/src/bin/fleet_sim.rs
+
+/root/repo/target/release/deps/fleet_sim-f21b56eb0373082b: crates/bench/src/bin/fleet_sim.rs
+
+crates/bench/src/bin/fleet_sim.rs:

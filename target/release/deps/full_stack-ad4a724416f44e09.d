@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_stack-ad4a724416f44e09.d: tests/full_stack.rs
+
+/root/repo/target/release/deps/full_stack-ad4a724416f44e09: tests/full_stack.rs
+
+tests/full_stack.rs:

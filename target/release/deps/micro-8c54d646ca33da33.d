@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-8c54d646ca33da33.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-8c54d646ca33da33: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a485fdee6bb768cb.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-a485fdee6bb768cb: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-a0cc54ba0c1090e0.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-a0cc54ba0c1090e0: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d7337c753178eeeb.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7337c753178eeeb.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7337c753178eeeb.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-03b7aad8f9da05e1.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-03b7aad8f9da05e1: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-4a846bcc337ff21e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-4a846bcc337ff21e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

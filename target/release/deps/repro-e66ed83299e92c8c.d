@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e66ed83299e92c8c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e66ed83299e92c8c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

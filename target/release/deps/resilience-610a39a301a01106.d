@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-610a39a301a01106.d: tests/resilience.rs
+
+/root/repo/target/release/deps/resilience-610a39a301a01106: tests/resilience.rs
+
+tests/resilience.rs:

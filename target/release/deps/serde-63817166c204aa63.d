@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-63817166c204aa63.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-63817166c204aa63.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-63817166c204aa63.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

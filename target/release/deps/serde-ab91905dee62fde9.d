@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-ab91905dee62fde9.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-ab91905dee62fde9: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-47b7ad0f1ddeded7.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-47b7ad0f1ddeded7: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

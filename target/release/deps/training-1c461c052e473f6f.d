@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training-1c461c052e473f6f.d: crates/predictor/tests/training.rs
+
+/root/repo/target/release/deps/training-1c461c052e473f6f: crates/predictor/tests/training.rs
+
+crates/predictor/tests/training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uniserver-1a1969d42617abea.d: src/lib.rs
+
+/root/repo/target/release/deps/libuniserver-1a1969d42617abea.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuniserver-1a1969d42617abea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uniserver-e3fe69642edd6776.d: src/lib.rs
+
+/root/repo/target/release/deps/uniserver-e3fe69642edd6776: src/lib.rs
+
+src/lib.rs:

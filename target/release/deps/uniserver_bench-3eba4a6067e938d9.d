@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniserver_bench-3eba4a6067e938d9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libuniserver_bench-3eba4a6067e938d9.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libuniserver_bench-3eba4a6067e938d9.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:

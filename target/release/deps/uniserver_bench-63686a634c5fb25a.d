@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/uniserver_bench-63686a634c5fb25a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/uniserver_bench-63686a634c5fb25a: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/fleet.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/fleet.rs:
+crates/bench/src/render.rs:

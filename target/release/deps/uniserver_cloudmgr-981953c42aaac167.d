@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/uniserver_cloudmgr-981953c42aaac167.d: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/release/deps/libuniserver_cloudmgr-981953c42aaac167.rlib: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/release/deps/libuniserver_cloudmgr-981953c42aaac167.rmeta: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+crates/cloudmgr/src/lib.rs:
+crates/cloudmgr/src/cluster.rs:
+crates/cloudmgr/src/failure.rs:
+crates/cloudmgr/src/migrate.rs:
+crates/cloudmgr/src/node.rs:
+crates/cloudmgr/src/scheduler.rs:
+crates/cloudmgr/src/sla.rs:
+crates/cloudmgr/src/stream.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniserver_cloudmgr-f3cf32c20d120516.d: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+/root/repo/target/release/deps/uniserver_cloudmgr-f3cf32c20d120516: crates/cloudmgr/src/lib.rs crates/cloudmgr/src/cluster.rs crates/cloudmgr/src/failure.rs crates/cloudmgr/src/migrate.rs crates/cloudmgr/src/node.rs crates/cloudmgr/src/scheduler.rs crates/cloudmgr/src/sla.rs crates/cloudmgr/src/stream.rs
+
+crates/cloudmgr/src/lib.rs:
+crates/cloudmgr/src/cluster.rs:
+crates/cloudmgr/src/failure.rs:
+crates/cloudmgr/src/migrate.rs:
+crates/cloudmgr/src/node.rs:
+crates/cloudmgr/src/scheduler.rs:
+crates/cloudmgr/src/sla.rs:
+crates/cloudmgr/src/stream.rs:

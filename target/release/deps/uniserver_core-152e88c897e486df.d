@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniserver_core-152e88c897e486df.d: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/release/deps/libuniserver_core-152e88c897e486df.rlib: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/release/deps/libuniserver_core-152e88c897e486df.rmeta: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ecosystem.rs:
+crates/core/src/eop.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/security.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uniserver_core-463e02a13a2fc0e8.d: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+/root/repo/target/release/deps/uniserver_core-463e02a13a2fc0e8: crates/core/src/lib.rs crates/core/src/ecosystem.rs crates/core/src/eop.rs crates/core/src/optimizer.rs crates/core/src/security.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ecosystem.rs:
+crates/core/src/eop.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/security.rs:

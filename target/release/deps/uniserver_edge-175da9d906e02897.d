@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uniserver_edge-175da9d906e02897.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/release/deps/libuniserver_edge-175da9d906e02897.rlib: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/release/deps/libuniserver_edge-175da9d906e02897.rmeta: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:

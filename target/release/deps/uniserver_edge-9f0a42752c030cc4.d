@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uniserver_edge-9f0a42752c030cc4.d: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+/root/repo/target/release/deps/uniserver_edge-9f0a42752c030cc4: crates/edge/src/lib.rs crates/edge/src/dvfs.rs crates/edge/src/latency.rs
+
+crates/edge/src/lib.rs:
+crates/edge/src/dvfs.rs:
+crates/edge/src/latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uniserver_faultinject-1b941535cc5b2667.d: crates/faultinject/src/lib.rs
+
+/root/repo/target/release/deps/uniserver_faultinject-1b941535cc5b2667: crates/faultinject/src/lib.rs
+
+crates/faultinject/src/lib.rs:

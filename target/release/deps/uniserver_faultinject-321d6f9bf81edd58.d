@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uniserver_faultinject-321d6f9bf81edd58.d: crates/faultinject/src/lib.rs
+
+/root/repo/target/release/deps/libuniserver_faultinject-321d6f9bf81edd58.rlib: crates/faultinject/src/lib.rs
+
+/root/repo/target/release/deps/libuniserver_faultinject-321d6f9bf81edd58.rmeta: crates/faultinject/src/lib.rs
+
+crates/faultinject/src/lib.rs:

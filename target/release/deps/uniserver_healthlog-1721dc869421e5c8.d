@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniserver_healthlog-1721dc869421e5c8.d: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/release/deps/libuniserver_healthlog-1721dc869421e5c8.rlib: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/release/deps/libuniserver_healthlog-1721dc869421e5c8.rmeta: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+crates/healthlog/src/lib.rs:
+crates/healthlog/src/daemon.rs:
+crates/healthlog/src/ledger.rs:
+crates/healthlog/src/vector.rs:

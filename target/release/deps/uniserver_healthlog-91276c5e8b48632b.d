@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/uniserver_healthlog-91276c5e8b48632b.d: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+/root/repo/target/release/deps/uniserver_healthlog-91276c5e8b48632b: crates/healthlog/src/lib.rs crates/healthlog/src/daemon.rs crates/healthlog/src/ledger.rs crates/healthlog/src/vector.rs
+
+crates/healthlog/src/lib.rs:
+crates/healthlog/src/daemon.rs:
+crates/healthlog/src/ledger.rs:
+crates/healthlog/src/vector.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniserver_hypervisor-9adc64e65a732feb.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/release/deps/libuniserver_hypervisor-9adc64e65a732feb.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/release/deps/libuniserver_hypervisor-9adc64e65a732feb.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/hypervisor.rs:
+crates/hypervisor/src/memdomain.rs:
+crates/hypervisor/src/objects.rs:
+crates/hypervisor/src/protect.rs:
+crates/hypervisor/src/vm.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniserver_hypervisor-fe10d701f05b8b56.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+/root/repo/target/release/deps/uniserver_hypervisor-fe10d701f05b8b56: crates/hypervisor/src/lib.rs crates/hypervisor/src/hypervisor.rs crates/hypervisor/src/memdomain.rs crates/hypervisor/src/objects.rs crates/hypervisor/src/protect.rs crates/hypervisor/src/vm.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/hypervisor.rs:
+crates/hypervisor/src/memdomain.rs:
+crates/hypervisor/src/objects.rs:
+crates/hypervisor/src/protect.rs:
+crates/hypervisor/src/vm.rs:

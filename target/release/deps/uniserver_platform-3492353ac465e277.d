@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/uniserver_platform-3492353ac465e277.d: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/release/deps/libuniserver_platform-3492353ac465e277.rlib: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/release/deps/libuniserver_platform-3492353ac465e277.rmeta: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cache.rs:
+crates/platform/src/dram.rs:
+crates/platform/src/mca.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/part.rs:
+crates/platform/src/pmu.rs:
+crates/platform/src/raidr.rs:
+crates/platform/src/sensors.rs:
+crates/platform/src/workload.rs:

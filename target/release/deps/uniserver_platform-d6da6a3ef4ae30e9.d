@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/uniserver_platform-d6da6a3ef4ae30e9.d: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+/root/repo/target/release/deps/uniserver_platform-d6da6a3ef4ae30e9: crates/platform/src/lib.rs crates/platform/src/cache.rs crates/platform/src/dram.rs crates/platform/src/mca.rs crates/platform/src/msr.rs crates/platform/src/node.rs crates/platform/src/part.rs crates/platform/src/pmu.rs crates/platform/src/raidr.rs crates/platform/src/sensors.rs crates/platform/src/workload.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/cache.rs:
+crates/platform/src/dram.rs:
+crates/platform/src/mca.rs:
+crates/platform/src/msr.rs:
+crates/platform/src/node.rs:
+crates/platform/src/part.rs:
+crates/platform/src/pmu.rs:
+crates/platform/src/raidr.rs:
+crates/platform/src/sensors.rs:
+crates/platform/src/workload.rs:

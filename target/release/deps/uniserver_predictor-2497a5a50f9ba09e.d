@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniserver_predictor-2497a5a50f9ba09e.d: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/release/deps/libuniserver_predictor-2497a5a50f9ba09e.rlib: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/release/deps/libuniserver_predictor-2497a5a50f9ba09e.rmeta: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/advisor.rs:
+crates/predictor/src/bayes.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/harness.rs:
+crates/predictor/src/logistic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/uniserver_predictor-e64240cf1755acda.d: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+/root/repo/target/release/deps/uniserver_predictor-e64240cf1755acda: crates/predictor/src/lib.rs crates/predictor/src/advisor.rs crates/predictor/src/bayes.rs crates/predictor/src/features.rs crates/predictor/src/harness.rs crates/predictor/src/logistic.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/advisor.rs:
+crates/predictor/src/bayes.rs:
+crates/predictor/src/features.rs:
+crates/predictor/src/harness.rs:
+crates/predictor/src/logistic.rs:

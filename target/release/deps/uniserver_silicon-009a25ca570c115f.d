@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/uniserver_silicon-009a25ca570c115f.d: crates/silicon/src/lib.rs crates/silicon/src/aging.rs crates/silicon/src/binning.rs crates/silicon/src/comparisons.rs crates/silicon/src/droop.rs crates/silicon/src/ecc.rs crates/silicon/src/faults.rs crates/silicon/src/guardband.rs crates/silicon/src/math.rs crates/silicon/src/power.rs crates/silicon/src/retention.rs crates/silicon/src/rng.rs crates/silicon/src/variation.rs crates/silicon/src/vmin.rs
+
+/root/repo/target/release/deps/uniserver_silicon-009a25ca570c115f: crates/silicon/src/lib.rs crates/silicon/src/aging.rs crates/silicon/src/binning.rs crates/silicon/src/comparisons.rs crates/silicon/src/droop.rs crates/silicon/src/ecc.rs crates/silicon/src/faults.rs crates/silicon/src/guardband.rs crates/silicon/src/math.rs crates/silicon/src/power.rs crates/silicon/src/retention.rs crates/silicon/src/rng.rs crates/silicon/src/variation.rs crates/silicon/src/vmin.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/aging.rs:
+crates/silicon/src/binning.rs:
+crates/silicon/src/comparisons.rs:
+crates/silicon/src/droop.rs:
+crates/silicon/src/ecc.rs:
+crates/silicon/src/faults.rs:
+crates/silicon/src/guardband.rs:
+crates/silicon/src/math.rs:
+crates/silicon/src/power.rs:
+crates/silicon/src/retention.rs:
+crates/silicon/src/rng.rs:
+crates/silicon/src/variation.rs:
+crates/silicon/src/vmin.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniserver_stress-4f6945fff5db8121.d: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/release/deps/libuniserver_stress-4f6945fff5db8121.rlib: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/release/deps/libuniserver_stress-4f6945fff5db8121.rmeta: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+crates/stress/src/lib.rs:
+crates/stress/src/campaign.rs:
+crates/stress/src/genetic.rs:
+crates/stress/src/kernels.rs:
+crates/stress/src/patterns.rs:

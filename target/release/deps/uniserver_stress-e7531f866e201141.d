@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uniserver_stress-e7531f866e201141.d: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+/root/repo/target/release/deps/uniserver_stress-e7531f866e201141: crates/stress/src/lib.rs crates/stress/src/campaign.rs crates/stress/src/genetic.rs crates/stress/src/kernels.rs crates/stress/src/patterns.rs
+
+crates/stress/src/lib.rs:
+crates/stress/src/campaign.rs:
+crates/stress/src/genetic.rs:
+crates/stress/src/kernels.rs:
+crates/stress/src/patterns.rs:

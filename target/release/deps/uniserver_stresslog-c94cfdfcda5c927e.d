@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uniserver_stresslog-c94cfdfcda5c927e.d: crates/stresslog/src/lib.rs
+
+/root/repo/target/release/deps/libuniserver_stresslog-c94cfdfcda5c927e.rlib: crates/stresslog/src/lib.rs
+
+/root/repo/target/release/deps/libuniserver_stresslog-c94cfdfcda5c927e.rmeta: crates/stresslog/src/lib.rs
+
+crates/stresslog/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uniserver_stresslog-fda672348484767a.d: crates/stresslog/src/lib.rs
+
+/root/repo/target/release/deps/uniserver_stresslog-fda672348484767a: crates/stresslog/src/lib.rs
+
+crates/stresslog/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uniserver_tco-f67c76cd843d358d.d: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+/root/repo/target/release/deps/libuniserver_tco-f67c76cd843d358d.rlib: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+/root/repo/target/release/deps/libuniserver_tco-f67c76cd843d358d.rmeta: crates/tco/src/lib.rs crates/tco/src/explore.rs crates/tco/src/factors.rs crates/tco/src/model.rs crates/tco/src/yield_model.rs
+
+crates/tco/src/lib.rs:
+crates/tco/src/explore.rs:
+crates/tco/src/factors.rs:
+crates/tco/src/model.rs:
+crates/tco/src/yield_model.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/uniserver_units-3e0bae37f363b584.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libuniserver_units-3e0bae37f363b584.rlib: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/libuniserver_units-3e0bae37f363b584.rmeta: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/electrical.rs:
+crates/units/src/energy.rs:
+crates/units/src/frequency.rs:
+crates/units/src/ratio.rs:
+crates/units/src/thermal.rs:
+crates/units/src/time.rs:

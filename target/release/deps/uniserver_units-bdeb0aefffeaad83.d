@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/uniserver_units-bdeb0aefffeaad83.d: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+/root/repo/target/release/deps/uniserver_units-bdeb0aefffeaad83: crates/units/src/lib.rs crates/units/src/data.rs crates/units/src/electrical.rs crates/units/src/energy.rs crates/units/src/frequency.rs crates/units/src/ratio.rs crates/units/src/thermal.rs crates/units/src/time.rs
+
+crates/units/src/lib.rs:
+crates/units/src/data.rs:
+crates/units/src/electrical.rs:
+crates/units/src/energy.rs:
+crates/units/src/frequency.rs:
+crates/units/src/ratio.rs:
+crates/units/src/thermal.rs:
+crates/units/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/units-bd51e57fa40d94dc.d: crates/units/tests/units.rs
+
+/root/repo/target/release/deps/units-bd51e57fa40d94dc: crates/units/tests/units.rs
+
+crates/units/tests/units.rs:

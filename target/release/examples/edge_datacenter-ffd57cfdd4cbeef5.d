@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_datacenter-ffd57cfdd4cbeef5.d: examples/edge_datacenter.rs
+
+/root/repo/target/release/examples/edge_datacenter-ffd57cfdd4cbeef5: examples/edge_datacenter.rs
+
+examples/edge_datacenter.rs:

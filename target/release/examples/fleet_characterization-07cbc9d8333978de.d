@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_characterization-07cbc9d8333978de.d: examples/fleet_characterization.rs
+
+/root/repo/target/release/examples/fleet_characterization-07cbc9d8333978de: examples/fleet_characterization.rs
+
+examples/fleet_characterization.rs:

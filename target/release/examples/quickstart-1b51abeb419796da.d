@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1b51abeb419796da.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1b51abeb419796da: examples/quickstart.rs
+
+examples/quickstart.rs:

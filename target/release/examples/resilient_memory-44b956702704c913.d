@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_memory-44b956702704c913.d: examples/resilient_memory.rs
+
+/root/repo/target/release/examples/resilient_memory-44b956702704c913: examples/resilient_memory.rs
+
+examples/resilient_memory.rs:

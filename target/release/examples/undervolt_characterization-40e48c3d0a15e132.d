@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/undervolt_characterization-40e48c3d0a15e132.d: examples/undervolt_characterization.rs
+
+/root/repo/target/release/examples/undervolt_characterization-40e48c3d0a15e132: examples/undervolt_characterization.rs
+
+examples/undervolt_characterization.rs:
