@@ -5,16 +5,31 @@
 //! and prints a deterministic JSON fleet summary to stdout.
 //!
 //! ```text
-//! fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] [--no-per-node]
+//! fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K]
+//!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
+//!           [--no-per-node]
 //! ```
 //!
-//! The same `(nodes, seed, secs)` triple produces byte-identical output
-//! for any thread count — the determinism the paper's methodology
+//! * `--mixed` deploys the heterogeneous reference fleet (ARM + i5 + i7
+//!   at 6:1:1, per-node guest mixes, ±6 °C ambient spread) instead of a
+//!   homogeneous ARM fleet.
+//! * `--baseline` reproduces the PR 1 deploy semantics — single-pass
+//!   shmoo ladders and per-node predictor training — for before/after
+//!   benchmarking of the deploy fast path.
+//! * `--bench PATH` appends one JSON timing line (the `BENCH_fleet.json`
+//!   entry shape: label, nodes, threads, wall/deploy/serve ms and
+//!   deploy ms per node) to PATH. Timings are machine-local wall-clock
+//!   and are deliberately *not* part of the summary on stdout.
+//!
+//! The same `(nodes, seed, secs, --mixed)` tuple produces byte-identical
+//! stdout for any thread count — the determinism the paper's methodology
 //! demands of every experiment in this workspace.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
-use uniserver_bench::fleet::{simulate, FleetConfig};
+use uniserver_bench::fleet::{simulate_timed, FleetConfig};
+use uniserver_stress::campaign::ShmooCampaign;
 use uniserver_units::Seconds;
 
 struct Args {
@@ -23,12 +38,25 @@ struct Args {
     secs: f64,
     threads: usize,
     per_node: bool,
+    mixed: bool,
+    baseline: bool,
+    bench: Option<String>,
+    label: Option<String>,
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let _ = argv.next(); // program name
-    let mut args =
-        Args { nodes: 64, seed: 2018, secs: 120.0, threads: 0, per_node: true };
+    let mut args = Args {
+        nodes: 64,
+        seed: 2018,
+        secs: 120.0,
+        threads: 0,
+        per_node: true,
+        mixed: false,
+        baseline: false,
+        bench: None,
+        label: None,
+    };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next().ok_or_else(|| format!("{name} requires a value"))
@@ -41,6 +69,10 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                 args.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--no-per-node" => args.per_node = false,
+            "--mixed" => args.mixed = true,
+            "--baseline" => args.baseline = true,
+            "--bench" => args.bench = Some(value("--bench")?),
+            "--label" => args.label = Some(value("--label")?),
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -64,21 +96,52 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] [--no-per-node]"
+                "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
+                 [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]"
             );
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
 
-    let config = FleetConfig {
+    let base = if args.mixed {
+        FleetConfig::mixed(args.nodes, args.seed)
+    } else {
+        FleetConfig::quick(args.nodes, args.seed)
+    };
+    let mut config = FleetConfig {
         horizon: Seconds::new(args.secs),
         threads: args.threads,
-        ..FleetConfig::quick(args.nodes, args.seed)
+        ..base
     };
-    let mut summary = simulate(&config);
+    if args.baseline {
+        // PR 1 deploy semantics: single-pass shmoo, train per node.
+        config.deployment.stress_params.shmoo =
+            ShmooCampaign { coarse_factor: 1, ..config.deployment.stress_params.shmoo };
+        config.share_training = false;
+    }
+
+    let (mut summary, timing) = simulate_timed(&config);
     if !args.per_node {
         summary.per_node.clear();
     }
     println!("{}", summary.to_json());
+
+    if let Some(path) = args.bench {
+        let label = args.label.unwrap_or_else(|| {
+            let mode = if args.baseline { "baseline" } else { "fast" };
+            let mix = if args.mixed { "mixed" } else { "arm" };
+            format!("{mix}-{mode}")
+        });
+        let line = timing.to_json(&label);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = appended {
+            eprintln!("error: cannot append bench record to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

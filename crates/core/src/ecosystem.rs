@@ -1,5 +1,7 @@
 //! The deployed ecosystem: the full UniServer lifecycle on one node.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use uniserver_units::{Celsius, Joules, Seconds, Watts};
 
@@ -8,8 +10,7 @@ use uniserver_hypervisor::vm::VmConfig;
 use uniserver_platform::node::ServerNode;
 use uniserver_platform::part::PartSpec;
 use uniserver_platform::workload::WorkloadProfile;
-use uniserver_predictor::harness::TrainingHarness;
-use uniserver_predictor::{LogisticModel, ModeAdvisor};
+use uniserver_predictor::ModeAdvisor;
 use uniserver_stresslog::{Schedule, StressLog, StressTargetParams};
 
 use crate::eop::{EopPhase, OperatingPoint};
@@ -36,6 +37,9 @@ pub struct DeploymentConfig {
     /// (threshold trips can persist for many intervals; taking the node
     /// offline every tick would defeat the purpose).
     pub anomaly_cooldown: Seconds,
+    /// Ambient (inlet) temperature of the node's deployment site: feeds
+    /// both the sensors' thermal model and the advisor's risk queries.
+    pub ambient: Celsius,
 }
 
 impl DeploymentConfig {
@@ -52,6 +56,7 @@ impl DeploymentConfig {
             guests: vec![VmConfig::ldbc_benchmark(); 4],
             recharacterization_period: Seconds::new(2.5 * 30.0 * 24.0 * 3600.0),
             anomaly_cooldown: Seconds::new(3_600.0),
+            ambient: Celsius::new(26.0),
         }
     }
 
@@ -94,13 +99,16 @@ pub struct Ecosystem {
     /// baseline (same seed → same silicon, nominal settings).
     baseline: Hypervisor,
     stresslog: StressLog,
-    advisor: ModeAdvisor,
+    /// Part-level risk model; `Arc` because fleets share one trained
+    /// model across every node of a part (see [`crate::training`]).
+    advisor: Arc<ModeAdvisor>,
     optimizer: EopOptimizer,
     schedule: Schedule,
     phase: EopPhase,
     current_point: OperatingPoint,
     expected_workload: WorkloadProfile,
     spec: PartSpec,
+    ambient: Celsius,
     anomaly_cooldown: Seconds,
     recharacterizations: u64,
     eop_energy: Joules,
@@ -113,24 +121,39 @@ impl Ecosystem {
     /// pre-deployment characterization, trains the predictor, launches
     /// the guests and moves to the chosen EOP.
     ///
+    /// Training here is per-deployment; fleets deploying many nodes of
+    /// the same part should train once via [`crate::training`] and use
+    /// [`Ecosystem::deploy_with_advisor`].
+    ///
     /// # Panics
     ///
     /// Panics if the configured guests do not fit the node's memory.
     #[must_use]
     pub fn deploy(config: &DeploymentConfig, seed: u64) -> Self {
+        Self::deploy_with_advisor(config, seed, Arc::new(crate::training::train_advisor(config)))
+    }
+
+    /// Deploys with an already-trained part-level advisor — the fleet
+    /// fast path. The node's *silicon* is still characterized
+    /// individually (the StressLog shmoo runs per node); only the
+    /// part-level risk model is shared. Passing the advisor that
+    /// [`crate::training::train_advisor`] produces for `config` makes
+    /// this bit-identical to [`Ecosystem::deploy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured guests do not fit the node's memory.
+    #[must_use]
+    pub fn deploy_with_advisor(
+        config: &DeploymentConfig,
+        seed: u64,
+        advisor: Arc<ModeAdvisor>,
+    ) -> Self {
         // --- Phase 1: pre-deployment characterization.
         let mut node = ServerNode::new(config.spec.clone(), seed);
+        node.set_ambient(config.ambient);
         let mut stresslog = StressLog::new(config.stress_params.clone());
         let margins = stresslog.characterize(&mut node, None);
-
-        // --- Train the predictor on sibling chips of the same part.
-        let harness = TrainingHarness {
-            spec: config.spec.clone(),
-            ..TrainingHarness::quick()
-        };
-        let data = harness.generate(config.training_chips);
-        let model = LogisticModel::fit(&data, 200, 0.7);
-        let advisor = ModeAdvisor::new(model, config.risk_tolerance);
 
         // --- Choose the EOP.
         let expected_workload = config
@@ -143,13 +166,14 @@ impl Ecosystem {
             &margins,
             &advisor,
             &expected_workload,
-            Celsius::new(26.0),
+            config.ambient,
         );
 
         // --- Phase 2: deployment.
         let mut hypervisor = Hypervisor::new(node);
-        let mut baseline =
-            Hypervisor::new(ServerNode::new(config.spec.clone(), seed));
+        let mut baseline_node = ServerNode::new(config.spec.clone(), seed);
+        baseline_node.set_ambient(config.ambient);
+        let mut baseline = Hypervisor::new(baseline_node);
         for guest in &config.guests {
             hypervisor.launch_vm(guest.clone()).expect("guest fits the node");
             baseline.launch_vm(guest.clone()).expect("guest fits the baseline");
@@ -166,6 +190,7 @@ impl Ecosystem {
             current_point: OperatingPoint::nominal(config.spec.cores),
             expected_workload,
             spec: config.spec.clone(),
+            ambient: config.ambient,
             recharacterizations: 0,
             eop_energy: Joules::ZERO,
             baseline_energy: Joules::ZERO,
@@ -244,7 +269,7 @@ impl Ecosystem {
             &margins,
             &self.advisor,
             &self.expected_workload,
-            Celsius::new(26.0),
+            self.ambient,
         );
         self.apply_point(point);
         self.schedule.mark_ran(self.hypervisor.node().now());

@@ -31,7 +31,9 @@ pub mod ecosystem;
 pub mod eop;
 pub mod optimizer;
 pub mod security;
+pub mod training;
 
 pub use ecosystem::{DeploymentConfig, Ecosystem, SavingsReport};
 pub use eop::{EopPhase, OperatingPoint};
 pub use optimizer::EopOptimizer;
+pub use training::{AdvisorCache, TrainedAdvisor};

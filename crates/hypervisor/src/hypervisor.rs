@@ -113,7 +113,10 @@ pub struct Hypervisor {
     vms: BTreeMap<VmId, Vm>,
     next_vm: u32,
     memory: MemoryMap,
-    inventory: ObjectInventory,
+    /// Static-object inventory, shared copy-on-write across hypervisors
+    /// (fleet scale: thousands of instances, all booting the identical
+    /// 16 820-object set; a write un-shares via `Arc::make_mut`).
+    inventory: std::sync::Arc<ObjectInventory>,
     protector: Protector,
     health: HealthLog,
     uptime: Seconds,
@@ -121,6 +124,11 @@ pub struct Hypervisor {
     crashes: u64,
     masked_corrected_total: u64,
     contained_uncorrected_total: u64,
+    /// Cached merge of the running guests' profiles, keyed by the VM-id
+    /// set it was computed for: the serving tick only recomputes (and
+    /// re-allocates) when the running set actually changes.
+    merged_cache: Option<WorkloadProfile>,
+    merged_cache_vms: Vec<VmId>,
 }
 
 impl Hypervisor {
@@ -136,8 +144,18 @@ impl Hypervisor {
         let reliable = node.memory.domain_capacity(uniserver_platform::msr::DomainId(0));
         let relaxed = node.memory.domain_capacity(uniserver_platform::msr::DomainId(1));
         let memory = MemoryMap::new(reliable, relaxed);
-        let inventory = ObjectInventory::build(0xB00F);
-        let protector = Protector::new(config.protection.clone(), &inventory);
+        let inventory = ObjectInventory::standard_shared();
+        // The default policy over the standard inventory yields the same
+        // shadow set for every hypervisor: snapshot it once per process
+        // and clone (fleet deployments boot thousands of hypervisors).
+        static DEFAULT_PROTECTOR: std::sync::OnceLock<Protector> = std::sync::OnceLock::new();
+        let protector = if config.protection == ProtectionPolicy::top_categories(3) {
+            DEFAULT_PROTECTOR
+                .get_or_init(|| Protector::new(config.protection.clone(), &inventory))
+                .clone()
+        } else {
+            Protector::new(config.protection.clone(), &inventory)
+        };
         let health = HealthLog::new(4_096, config.thresholds);
         Hypervisor {
             node,
@@ -153,6 +171,8 @@ impl Hypervisor {
             crashes: 0,
             masked_corrected_total: 0,
             contained_uncorrected_total: 0,
+            merged_cache: None,
+            merged_cache_vms: Vec::new(),
         }
     }
 
@@ -180,9 +200,10 @@ impl Hypervisor {
         &self.inventory
     }
 
-    /// Mutable inventory access (fault injection).
+    /// Mutable inventory access (fault injection). Un-shares the
+    /// copy-on-write inventory, so this hypervisor pays for its own copy.
     pub fn inventory_mut(&mut self) -> &mut ObjectInventory {
-        &mut self.inventory
+        std::sync::Arc::make_mut(&mut self.inventory)
     }
 
     /// The object protector.
@@ -308,7 +329,13 @@ impl Hypervisor {
     /// Runs the node for one interval under the merged guest workload
     /// and performs all resilience duties.
     pub fn tick(&mut self, duration: Seconds) -> TickOutcome {
-        let workload = self.merged_workload();
+        let running: Vec<VmId> =
+            self.vms.values().filter(|vm| vm.is_running()).map(|vm| vm.id).collect();
+        if self.merged_cache.is_none() || self.merged_cache_vms != running {
+            self.merged_cache = Some(self.merged_workload());
+            self.merged_cache_vms.clone_from(&running);
+        }
+        let workload = self.merged_cache.clone().expect("cache populated above");
         let report = self.node.run_interval(&workload, duration);
         let actions = self.health.ingest(&report);
 
@@ -325,13 +352,8 @@ impl Hypervisor {
             energy: report.energy,
         };
 
-        // --- Error masking and containment.
-        let running: Vec<VmId> = self
-            .vms
-            .values()
-            .filter(|vm| vm.is_running())
-            .map(|vm| vm.id)
-            .collect();
+        // --- Error masking and containment (`running` still reflects
+        // the start-of-tick set: run_interval cannot change VM states).
         for err in &report.errors {
             match err.severity {
                 ErrorSeverity::Corrected => {
@@ -409,8 +431,9 @@ impl Hypervisor {
             }
         }
 
-        // --- Periodic scrub of protected objects.
-        self.protector.scrub(&mut self.inventory);
+        // --- Periodic scrub of protected objects (no-op scan when the
+        // shared inventory is provably untouched).
+        self.protector.scrub_shared(&mut self.inventory);
 
         outcome
     }

@@ -177,11 +177,34 @@ impl HvObject {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectInventory {
     objects: Vec<HvObject>,
+    /// Times mutable access was handed out. A scrubber that remembers
+    /// the count it last saw can prove the inventory untouched since and
+    /// skip its scan (see [`crate::protect::Protector::scrub_shared`]).
+    mutations: u64,
 }
 
 impl ObjectInventory {
     /// Total number of statically allocated objects (the paper's count).
     pub const TOTAL_OBJECTS: usize = 16_820;
+
+    /// Seed of the standard (hypervisor-default) inventory.
+    pub const STANDARD_SEED: u64 = 0xB00F;
+
+    /// The standard inventory every hypervisor boots with, shared
+    /// copy-on-write. Built once per process: fleet simulations stand up
+    /// thousands of hypervisors, and re-sampling (or even deep-copying)
+    /// the same 16 820 deterministic objects each time dominated
+    /// construction cost. Mutating accessors go through
+    /// [`std::sync::Arc::make_mut`], so a hypervisor that actually takes
+    /// corruption pays for its own copy then.
+    #[must_use]
+    pub fn standard_shared() -> std::sync::Arc<Self> {
+        static PROTOTYPE: std::sync::OnceLock<std::sync::Arc<ObjectInventory>> =
+            std::sync::OnceLock::new();
+        std::sync::Arc::clone(
+            PROTOTYPE.get_or_init(|| std::sync::Arc::new(ObjectInventory::build(Self::STANDARD_SEED))),
+        )
+    }
 
     /// Builds the inventory deterministically from a seed (sizes and
     /// state words are sampled; counts and criticalities are fixed per
@@ -205,7 +228,14 @@ impl ObjectInventory {
                 id += 1;
             }
         }
-        ObjectInventory { objects }
+        ObjectInventory { objects, mutations: 0 }
+    }
+
+    /// Times mutable access was handed out (monotone; a conservative
+    /// "possibly dirty" signal, since callers may not have written).
+    #[must_use]
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
     }
 
     /// Number of objects.
@@ -228,6 +258,7 @@ impl ObjectInventory {
 
     /// Mutable object access (for injection and repair).
     pub fn get_mut(&mut self, id: u32) -> Option<&mut HvObject> {
+        self.mutations += 1;
         self.objects.get_mut(id as usize)
     }
 

@@ -8,7 +8,8 @@
 //! sensitive clusters); this module implements the mechanism: shadow
 //! copies plus periodic scrubbing for the categories worth the cost.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use uniserver_units::Bytes;
@@ -54,7 +55,14 @@ impl ProtectionPolicy {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Protector {
     policy: ProtectionPolicy,
-    shadows: HashMap<u32, u64>,
+    /// Shadow copies as an id-sorted vector: the scrub walks it linearly
+    /// every tick, so contiguity (and a deterministic order) beats a
+    /// hash map here.
+    shadows: Vec<(u32, u64)>,
+    /// Inventory mutation count as of the last scrub (or construction):
+    /// when unchanged, a shared scrub proves cleanliness without
+    /// scanning.
+    clean_mutations: u64,
     /// Corruptions repaired over the protector's lifetime.
     pub recoveries: u64,
     /// Scrub passes performed.
@@ -66,12 +74,20 @@ impl Protector {
     /// in a protected category.
     #[must_use]
     pub fn new(policy: ProtectionPolicy, inventory: &ObjectInventory) -> Self {
+        // Inventory iteration is already id-ascending, so the collected
+        // shadow list is sorted by construction.
         let shadows = inventory
             .iter()
             .filter(|o| policy.covers(o.category))
             .map(|o| (o.id, o.pristine))
             .collect();
-        Protector { policy, shadows, recoveries: 0, scrubs: 0 }
+        Protector {
+            policy,
+            shadows,
+            clean_mutations: inventory.mutation_count(),
+            recoveries: 0,
+            scrubs: 0,
+        }
     }
 
     /// The active policy.
@@ -98,7 +114,7 @@ impl Protector {
     pub fn scrub(&mut self, inventory: &mut ObjectInventory) -> u64 {
         self.scrubs += 1;
         let mut repaired = 0;
-        for (&id, &shadow) in &self.shadows {
+        for &(id, shadow) in &self.shadows {
             if let Some(obj) = inventory.get_mut(id) {
                 if obj.value != shadow {
                     obj.value = shadow;
@@ -107,7 +123,21 @@ impl Protector {
             }
         }
         self.recoveries += repaired;
+        self.clean_mutations = inventory.mutation_count();
         repaired
+    }
+
+    /// Scrubs a copy-on-write inventory. When the inventory's mutation
+    /// count is unchanged since the last scrub, the pass is recorded
+    /// without touching (or copying) the shared data — the serving
+    /// tick's common case. A possibly-dirty inventory is un-shared via
+    /// [`Arc::make_mut`] and scrubbed in full.
+    pub fn scrub_shared(&mut self, inventory: &mut Arc<ObjectInventory>) -> u64 {
+        if inventory.mutation_count() == self.clean_mutations {
+            self.scrubs += 1;
+            return 0;
+        }
+        self.scrub(Arc::make_mut(inventory))
     }
 }
 

@@ -201,21 +201,46 @@ impl MemorySystem {
 
         let (mut corrected, mut uncorrected) = (0u64, 0u64);
         if self.dimms[dimm].config.ecc_enabled {
-            for bits_in_word in per_word.values() {
-                // Run the actual codec: encode a pattern word, flip the
-                // failing data bits, decode.
-                let mut code = Secded72::encode(0x5555_5555_5555_5555);
-                for &b in bits_in_word {
-                    // Map the data-bit index onto a codeword position by
-                    // flipping through the encoder's data layout: flipping
-                    // any distinct codeword bits is equivalent for SECDED
-                    // behaviour.
-                    code = Secded72::flip_bit(code, b);
+            // The scan exercises the real SECDED codec, but its inputs
+            // repeat: the base pattern is constant and almost every
+            // failing word carries exactly one flip. Run the codec once
+            // per process for those cases and reuse the outcomes — a
+            // characterization sweep decodes tens of failing words per
+            // DIMM, which dominated its cost.
+            static BASE_AND_SINGLES: std::sync::OnceLock<(u128, [bool; 64])> =
+                std::sync::OnceLock::new();
+            let (base_code, single_corrects) = BASE_AND_SINGLES.get_or_init(|| {
+                let code = Secded72::encode(0x5555_5555_5555_5555);
+                let mut corrects = [false; 64];
+                for (b, entry) in corrects.iter_mut().enumerate() {
+                    *entry = matches!(
+                        Secded72::decode(Secded72::flip_bit(code, b as u8)),
+                        DecodeOutcome::Corrected { .. }
+                    );
                 }
-                match Secded72::decode(code) {
-                    DecodeOutcome::Clean { .. } => {}
-                    DecodeOutcome::Corrected { .. } => corrected += 1,
-                    DecodeOutcome::Uncorrectable => uncorrected += 1,
+                (code, corrects)
+            });
+            for bits_in_word in per_word.values() {
+                match bits_in_word[..] {
+                    // Single flip: the precomputed codec outcome.
+                    [b] if single_corrects[b as usize] => corrected += 1,
+                    [_] => uncorrected += 1,
+                    // Multi-flip words (rare collisions): run the codec.
+                    _ => {
+                        let mut code = *base_code;
+                        for &b in bits_in_word {
+                            // Map the data-bit index onto a codeword
+                            // position by flipping through the encoder's
+                            // data layout: flipping any distinct codeword
+                            // bits is equivalent for SECDED behaviour.
+                            code = Secded72::flip_bit(code, b);
+                        }
+                        match Secded72::decode(code) {
+                            DecodeOutcome::Clean { .. } => {}
+                            DecodeOutcome::Corrected { .. } => corrected += 1,
+                            DecodeOutcome::Uncorrectable => uncorrected += 1,
+                        }
+                    }
                 }
             }
         }
@@ -247,8 +272,30 @@ impl MemorySystem {
         touch_fraction: f64,
         rng: &mut R,
     ) -> Vec<MceRecord> {
-        assert!((0.0..=1.0).contains(&touch_fraction), "touch fraction must be in [0, 1]");
         let mut records = Vec::new();
+        self.step_errors_into(msr, temp, duration, now, touch_fraction, rng, &mut records);
+        records
+    }
+
+    /// Like [`MemorySystem::step_errors`], but appends into a
+    /// caller-provided buffer — the serving tick's allocation-free path
+    /// (nominal intervals produce no records, so no buffer ever grows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `touch_fraction` is outside `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_errors_into<R: Rng + ?Sized>(
+        &mut self,
+        msr: &MsrFile,
+        temp: Celsius,
+        duration: Seconds,
+        now: Seconds,
+        touch_fraction: f64,
+        rng: &mut R,
+        records: &mut Vec<MceRecord>,
+    ) {
+        assert!((0.0..=1.0).contains(&touch_fraction), "touch fraction must be in [0, 1]");
         for i in 0..self.dimms.len() {
             let (interval, words, ecc) = {
                 let d = &self.dimms[i];
@@ -281,7 +328,6 @@ impl MemorySystem {
                 });
             }
         }
-        records
     }
 }
 

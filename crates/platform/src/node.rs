@@ -7,10 +7,12 @@
 //! drive nodes exclusively through this interface — the same observables
 //! the paper's stack gets from real hardware.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use uniserver_units::{Joules, Seconds, Volts, Watts};
+use uniserver_units::{Celsius, Joules, Seconds, Volts, Watts};
 
 use uniserver_silicon::aging::AgingModel;
 use uniserver_silicon::rng::bernoulli;
@@ -35,8 +37,9 @@ pub struct CrashEvent {
     pub at: Seconds,
     /// Effective supply voltage at the moment of the crash.
     pub voltage: Volts,
-    /// Name of the workload running.
-    pub workload: String,
+    /// Name of the workload running (shared with the profile — building
+    /// a crash record never allocates).
+    pub workload: Arc<str>,
 }
 
 /// Everything observed during one simulated interval.
@@ -90,6 +93,13 @@ pub struct ServerNode {
     aging: AgingModel,
     age_months: f64,
     rng: StdRng,
+    /// The seed the node was manufactured from (daemons derive their own
+    /// per-node sub-streams from it).
+    seed: u64,
+    /// Scratch buffers reused across intervals so the serving tick does
+    /// not re-allocate per-core power/voltage vectors every call.
+    scratch_powers: Vec<Watts>,
+    scratch_voltages: Vec<Volts>,
 }
 
 impl ServerNode {
@@ -130,7 +140,31 @@ impl ServerNode {
             aging: AgingModel::typical_nbti(),
             age_months: 0.0,
             rng,
+            seed,
+            scratch_powers: Vec::new(),
+            scratch_voltages: Vec::new(),
         }
+    }
+
+    /// The seed this node's silicon was manufactured from. Daemons that
+    /// need per-node randomness (e.g. the StressLog's DRAM sweep) derive
+    /// their streams from this, so distinct nodes of the same part get
+    /// distinct draws.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the ambient (inlet) temperature the node's sensors reference
+    /// — the fleet driver's per-node ambient spread knob.
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.sensors.ambient = ambient;
+    }
+
+    /// The current ambient (inlet) temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Celsius {
+        self.sensors.ambient
     }
 
     /// The part specification of this node.
@@ -318,9 +352,13 @@ impl ServerNode {
             }
         }
 
-        // --- Power & thermals.
-        let mut core_powers = Vec::with_capacity(self.cores.len());
-        let mut core_voltages = Vec::with_capacity(self.cores.len());
+        // --- Power & thermals. The per-core truth vectors are scratch
+        // buffers owned by the node: the serving tick reuses them every
+        // interval instead of re-allocating.
+        let mut core_powers = std::mem::take(&mut self.scratch_powers);
+        let mut core_voltages = std::mem::take(&mut self.scratch_voltages);
+        core_powers.clear();
+        core_voltages.clear();
         for (idx, core) in self.cores.iter().enumerate() {
             let v = self.msr.effective_voltage(idx);
             let activity = if core.isolated { 0.02 } else { workload.activity };
@@ -344,14 +382,15 @@ impl ServerNode {
         // --- DRAM retention errors at the current refresh settings.
         let dimm_temp = self.sensors.true_dimm_temp(package);
         let touch = (workload.mem_bw_util * 0.8 + 0.02).min(1.0);
-        errors.extend(self.memory.step_errors(
+        self.memory.step_errors_into(
             &self.msr,
             dimm_temp,
             duration,
             self.clock + duration,
             touch,
             &mut self.rng,
-        ));
+            &mut errors,
+        );
 
         // --- PMU and sensors.
         let mut pmu_deltas = Vec::with_capacity(self.cores.len());
@@ -364,6 +403,8 @@ impl ServerNode {
             pmu_deltas.push(delta);
         }
         let snapshot = self.sensors.sample(&core_powers, &core_voltages, &mut self.rng);
+        self.scratch_powers = core_powers;
+        self.scratch_voltages = core_voltages;
 
         // --- Post MCEs to the banks; a crash posts a fatal record.
         if let Some(ev) = &crash {

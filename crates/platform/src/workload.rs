@@ -13,14 +13,18 @@
 //! droop-prone `zeusmp`, …); the experiments only rely on the *diversity*
 //! of the set, not on any single value.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use uniserver_silicon::droop::DroopModel;
 
 /// A workload's excitation profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
-    /// Workload name (as it appears in tables).
-    pub name: String,
+    /// Workload name (as it appears in tables). Shared (`Arc<str>`) so
+    /// the serving tick and crash records can carry the name without
+    /// allocating.
+    pub name: Arc<str>,
     /// Mean switching activity in `[0, 1]`.
     pub activity: f64,
     /// Current-transient intensity in `[0, 1]`.
@@ -47,7 +51,7 @@ impl WorkloadProfile {
     #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         activity: f64,
         didt: f64,
         resonance: f64,
@@ -172,9 +176,10 @@ mod tests {
 
     #[test]
     fn subset_matches_paper_list() {
-        let names: Vec<String> =
+        let names: Vec<Arc<str>> =
             WorkloadProfile::spec2006_subset().into_iter().map(|w| w.name).collect();
-        assert_eq!(names, ["bzip2", "mcf", "namd", "milc", "hmmer", "h264ref", "gobmk", "zeusmp"]);
+        let expected = ["bzip2", "mcf", "namd", "milc", "hmmer", "h264ref", "gobmk", "zeusmp"];
+        assert!(names.iter().map(|n| &**n).eq(expected), "subset names {names:?}");
     }
 
     #[test]

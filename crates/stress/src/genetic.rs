@@ -157,7 +157,7 @@ impl VirusGenome {
     /// Derives the phenotype as a workload profile usable anywhere the
     /// platform accepts workloads.
     #[must_use]
-    pub fn to_profile(&self, name: impl Into<String>) -> WorkloadProfile {
+    pub fn to_profile(&self, name: impl Into<std::sync::Arc<str>>) -> WorkloadProfile {
         let miss_frac = self
             .blocks
             .iter()
@@ -400,7 +400,7 @@ mod tests {
         let mut r = rng();
         let g = VirusGenome::random(32, &mut r);
         let w = g.to_profile("ga-virus");
-        assert_eq!(w.name, "ga-virus");
+        assert_eq!(&*w.name, "ga-virus");
         assert!((0.0..=1.0).contains(&w.activity));
         assert!((0.0..=1.0).contains(&w.didt));
         assert!((0.0..=1.0).contains(&w.resonance));

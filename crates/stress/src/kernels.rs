@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn suite_is_stable() {
-        let names: Vec<String> = suite().into_iter().map(|w| w.name).collect();
+        let names: Vec<String> = suite().into_iter().map(|w| w.name.to_string()).collect();
         assert_eq!(names, ["power-virus", "droop-resonator", "cache-thrash", "memory-hammer"]);
     }
 }

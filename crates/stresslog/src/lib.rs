@@ -33,6 +33,7 @@ use uniserver_units::Seconds;
 use uniserver_healthlog::SharedHealthLog;
 use uniserver_platform::node::ServerNode;
 use uniserver_platform::workload::WorkloadProfile;
+use uniserver_silicon::rng::splitmix64;
 use uniserver_stress::campaign::{RefreshSweep, ShmooCampaign, Table2Summary};
 use uniserver_stress::kernels;
 
@@ -203,25 +204,31 @@ impl StressLog {
             ));
         }
 
-        // --- CPU margins via the undervolting shmoo.
+        // --- CPU margins via the undervolting shmoo: one pass over the
+        // raw runs collecting each core's weakest crash point.
         let shmoo = self.params.shmoo.run_on(node, &self.params.workloads);
         let nominal_mv = node.part().nominal_voltage.as_millivolts();
-        let mut per_core = Vec::with_capacity(node.core_count());
-        for core in shmoo.cores() {
-            let weakest_mv = shmoo
-                .runs
-                .iter()
-                .filter(|r| r.core == core)
-                .map(|r| r.crash_offset_mv)
-                .fold(f64::MAX, f64::min);
-            let safe = (weakest_mv - self.params.voltage_slack_mv).max(0.0);
-            // Never suggest more than the MSR can express.
-            per_core.push(safe.min(nominal_mv));
+        let cores = shmoo.cores();
+        let mut weakest_mv = vec![f64::MAX; cores.len()];
+        for r in &shmoo.runs {
+            let pos = cores.binary_search(&r.core).expect("core listed by the shmoo");
+            weakest_mv[pos] = weakest_mv[pos].min(r.crash_offset_mv);
         }
+        let per_core: Vec<f64> = weakest_mv
+            .into_iter()
+            .map(|mv| {
+                let safe = (mv - self.params.voltage_slack_mv).max(0.0);
+                // Never suggest more than the MSR can express.
+                safe.min(nominal_mv)
+            })
+            .collect();
 
         // --- DRAM margins via the refresh sweep on a relaxed-domain DIMM.
+        // The sweep stream derives from the node's own manufacture seed:
+        // a per-part constant here would hand every node of a part the
+        // identical DRAM draw, collapsing fleet-level refresh diversity.
         let last_dimm = node.memory.dimms().len() - 1;
-        let sweep_seed = node.part().cores as u64;
+        let sweep_seed = splitmix64(node.seed() ^ 0x5EED_0D1A_D4A2_7331);
         let points = self.params.refresh.run(&mut node.memory, last_dimm, sweep_seed);
         let measured_safe = RefreshSweep::max_safe_interval(&points)
             .unwrap_or(Seconds::from_millis(64.0));

@@ -97,3 +97,30 @@ fn fleet_summary_json_is_bit_stable() {
     .to_json();
     assert_ne!(first, other, "different fleet seeds must differ");
 }
+
+#[test]
+fn heterogeneous_fleet_json_is_bit_stable_across_threads() {
+    // Heterogeneity (part mix, guest mixes, ambient spread) and the
+    // shared training cache must not open any schedule dependence: every
+    // per-node draw is a pure function of the node seed, and training is
+    // a pure function of the part.
+    use uniserver_bench::fleet::{simulate, FleetConfig};
+
+    let config = FleetConfig {
+        horizon: Seconds::new(15.0),
+        threads: 1,
+        ..FleetConfig::mixed(10, 2018)
+    };
+    let serial = simulate(&config).to_json();
+    let wide = simulate(&FleetConfig { threads: 7, ..config.clone() }).to_json();
+    assert_eq!(serial, wide, "thread count must not change the mixed-fleet summary");
+    assert!(serial.contains("\"per_part\":["), "summary carries per-part aggregates");
+
+    let other_seed = simulate(&FleetConfig {
+        horizon: Seconds::new(15.0),
+        threads: 1,
+        ..FleetConfig::mixed(10, 2019)
+    })
+    .to_json();
+    assert_ne!(serial, other_seed, "different fleet seeds must differ");
+}

@@ -1,0 +1,148 @@
+//! Equivalence and regression coverage for the coarse→fine shmoo fast
+//! path: the two-pass descent must certify the same crash offsets (to
+//! within one fine step, statistically) as the paper's single-pass
+//! methodology, and the Table 2 summaries it produces are pinned so an
+//! accidental change to the deploy-critical sweep shows up immediately.
+
+use proptest::prelude::*;
+
+use uniserver_platform::part::PartSpec;
+use uniserver_platform::workload::WorkloadProfile;
+use uniserver_stress::campaign::{ShmooCampaign, Table2Summary};
+use uniserver_units::Seconds;
+
+fn quick(coarse_factor: usize) -> ShmooCampaign {
+    ShmooCampaign {
+        dwell: Seconds::from_millis(200.0),
+        coarse_factor,
+        ..ShmooCampaign::paper_methodology()
+    }
+}
+
+/// Mean crash offset (mV) over every ladder of a campaign run.
+fn mean_crash_mv(campaign: &ShmooCampaign, spec: &PartSpec, seed: u64) -> f64 {
+    let shmoo = campaign.run(spec, seed, &[WorkloadProfile::spec_bzip2()]);
+    let n = shmoo.runs.len() as f64;
+    shmoo.runs.iter().map(|r| r.crash_offset_mv).sum::<f64>() / n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The two-pass (coarse→fine) crash offset agrees with the
+    /// single-pass methodology to within one fine step. Individual
+    /// ladders carry run-to-run jitter, so the property compares the
+    /// node mean over 8 cores × 3 runs — the statistic the margin
+    /// pipeline actually consumes.
+    #[test]
+    fn two_pass_lands_within_one_fine_step_of_single_pass(
+        seed in 0u64..4096,
+        factor in 2usize..7,
+    ) {
+        let spec = PartSpec::arm_microserver();
+        let single = mean_crash_mv(&quick(1), &spec, seed);
+        let two_pass = mean_crash_mv(&quick(factor), &spec, seed);
+        let step = quick(1).step_mv;
+        prop_assert!(
+            (two_pass - single).abs() <= step,
+            "seed {seed} factor {factor}: two-pass mean {two_pass:.2} mV vs single {single:.2} mV \
+             differs by more than one fine step ({step} mV)"
+        );
+    }
+
+    /// Every two-pass crash offset sits on the same fine lattice the
+    /// single-pass sweep walks (start + k·step), never on an
+    /// intermediate coarse-only point.
+    #[test]
+    fn two_pass_offsets_stay_on_the_fine_lattice(seed in 0u64..4096) {
+        let campaign = quick(4);
+        let spec = PartSpec::i5_4200u();
+        let shmoo = campaign.run(&spec, seed, &[WorkloadProfile::spec_bzip2()]);
+        let start = spec.nominal_voltage.as_millivolts() * campaign.start_offset_fraction;
+        for r in &shmoo.runs {
+            let steps = (r.crash_offset_mv - start) / campaign.step_mv;
+            prop_assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "core {} run {}: offset {:.3} mV is {steps} steps from the lattice",
+                r.core,
+                r.run,
+                r.crash_offset_mv
+            );
+        }
+    }
+}
+
+/// The warm-start fallback: when a later workload crashes far shallower
+/// than the ladder's warm entry (the i7's stress spread makes
+/// namd→zeusmp exactly that case), the sweep must rescan from the top
+/// instead of certifying the bogus warm-entry depth.
+#[test]
+fn warm_start_falls_back_for_shallow_crashers() {
+    let spec = PartSpec::i7_3970x();
+    let shmoo = quick(4).run(
+        &spec,
+        99,
+        &[WorkloadProfile::spec_namd(), WorkloadProfile::spec_zeusmp()],
+    );
+    let mean = |name: &str| {
+        let runs: Vec<f64> = shmoo
+            .runs
+            .iter()
+            .filter(|r| &*r.workload == name)
+            .map(|r| r.crash_offset_mv)
+            .collect();
+        runs.iter().sum::<f64>() / runs.len() as f64
+    };
+    let namd = mean("namd");
+    let zeusmp = mean("zeusmp");
+    // zeusmp crashes >100 mV shallower than namd on this part; a sweep
+    // stuck at its warm entry (namd − 2 coarse steps) would report
+    // zeusmp within 40 mV of namd.
+    assert!(
+        zeusmp < namd - 60.0,
+        "zeusmp ({zeusmp:.0} mV) must rescan well above namd's warm entry ({namd:.0} mV)"
+    );
+}
+
+/// Regression pins for the Table 2 summaries under the coarse→fine
+/// default (quick dwell, the in-repo calibration seeds). These are the
+/// deploy pipeline's condensed outputs; any drift here means the sweep
+/// semantics changed and the bands must be re-justified.
+#[test]
+fn table2_summaries_are_pinned_under_the_two_pass_default() {
+    let campaign =
+        ShmooCampaign { dwell: Seconds::from_millis(200.0), ..ShmooCampaign::paper_methodology() };
+    let suite = WorkloadProfile::spec2006_subset();
+
+    let i5 = Table2Summary::from_shmoo(&campaign.run(&PartSpec::i5_4200u(), 2018, &suite));
+    assert!((i5.crash_min_pct - 11.064770932070).abs() < 1e-9, "i5 crash min {}", i5.crash_min_pct);
+    assert!((i5.crash_max_pct - 11.854660347551).abs() < 1e-9, "i5 crash max {}", i5.crash_max_pct);
+    assert!((i5.core_var_max_pct - 0.394944707741).abs() < 1e-9, "i5 var max {}", i5.core_var_max_pct);
+    assert_eq!(i5.cache_ce_min, Some(14));
+    assert_eq!(i5.cache_ce_max, Some(40));
+    let window = i5.mean_ce_window_mv.expect("i5 exposes a CE window");
+    assert!((window - 18.541666666666668).abs() < 1e-9, "i5 window {window}");
+
+    let i7 = Table2Summary::from_shmoo(&campaign.run(&PartSpec::i7_3970x(), 2012, &suite));
+    assert!((i7.crash_min_pct - 6.950956450956).abs() < 1e-9, "i7 crash min {}", i7.crash_min_pct);
+    assert!((i7.crash_max_pct - 15.111314611315).abs() < 1e-9, "i7 crash max {}", i7.crash_max_pct);
+    assert!((i7.core_var_min_pct - 3.418803418803).abs() < 1e-9, "i7 var min {}", i7.core_var_min_pct);
+    assert!((i7.core_var_max_pct - 4.884004884005).abs() < 1e-9, "i7 var max {}", i7.core_var_max_pct);
+    assert_eq!(i7.cache_ce_min, None, "the high-end part never exposes CEs");
+    assert_eq!(i7.cache_ce_max, None);
+    assert_eq!(i7.mean_ce_window_mv, None);
+}
+
+/// `single_pass()` really is the legacy methodology: factor 1, same
+/// ladder parameters otherwise.
+#[test]
+fn single_pass_construction_matches_paper_methodology() {
+    let single = ShmooCampaign::single_pass();
+    let paper = ShmooCampaign::paper_methodology();
+    assert_eq!(single.coarse_factor, 1);
+    assert_eq!(paper.coarse_factor, 4, "two-pass is the default");
+    assert_eq!(single.step_mv, paper.step_mv);
+    assert_eq!(single.runs, paper.runs);
+    assert_eq!(single.start_offset_fraction, paper.start_offset_fraction);
+    assert_eq!(single.max_offset_fraction, paper.max_offset_fraction);
+}
