@@ -1,45 +1,66 @@
 //! `fleet_sim` — parallel fleet-scale UniServer simulation.
 //!
-//! Deploys N independently manufactured ecosystems (per-node seeds
-//! derived from the fleet seed), serves each for the configured horizon,
-//! and prints a deterministic JSON fleet summary to stdout.
+//! Two modes share one binary:
+//!
+//! **Fleet mode** (default) deploys N *independent* ecosystems (per-node
+//! seeds derived from the fleet seed), serves each for the configured
+//! horizon, and prints a deterministic JSON fleet summary to stdout.
+//!
+//! **Cluster mode** (`--cluster`) is the cluster-in-the-loop
+//! orchestrator: the same N nodes become one rack behind an energy/
+//! SLA-aware scheduler, a seeded arrival process offers VM requests
+//! every tick, and node crashes trigger failure-driven eviction and
+//! migration. Defaults to the headline scenario — 256 mixed ARM+i5+i7
+//! nodes, a simulated hour, ≥10⁴ VM arrivals.
 //!
 //! ```text
 //! fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K]
 //!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
 //!           [--no-per-node]
+//! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
+//!           [--threads K] [--nominal] [--bench PATH] [--label NAME]
+//!           [--no-per-tick]
 //! ```
 //!
-//! * `--mixed` deploys the heterogeneous reference fleet (ARM + i5 + i7
-//!   at 6:1:1, per-node guest mixes, ±6 °C ambient spread) instead of a
-//!   homogeneous ARM fleet.
-//! * `--baseline` reproduces the PR 1 deploy semantics — single-pass
-//!   shmoo ladders and per-node predictor training — for before/after
-//!   benchmarking of the deploy fast path.
-//! * `--bench PATH` appends one JSON timing line (the `BENCH_fleet.json`
-//!   entry shape: label, nodes, threads, wall/deploy/serve ms and
-//!   deploy ms per node) to PATH. Timings are machine-local wall-clock
-//!   and are deliberately *not* part of the summary on stdout.
+//! * `--mixed` (fleet mode) deploys the heterogeneous reference fleet
+//!   (ARM + i5 + i7 at 6:1:1, per-node guest mixes, ±6 °C ambient
+//!   spread) instead of a homogeneous ARM fleet.
+//! * `--baseline` (fleet mode) reproduces the PR 1 deploy semantics —
+//!   single-pass shmoo ladders and per-node predictor training.
+//! * `--nominal` (cluster mode) runs the rack at conservative
+//!   guard-bands instead of Extended Operating Points — the ablation
+//!   baseline for energy/SLA comparisons.
+//! * `--bench PATH` appends one JSON timing line (label, nodes, threads,
+//!   wall/deploy/serve ms, deploy ms per node — cluster mode adds the
+//!   arrival count) to PATH: `BENCH_fleet.json` / `BENCH_cluster.json`.
+//!   Timings are machine-local wall-clock and deliberately *not* part of
+//!   the summary on stdout.
 //!
-//! The same `(nodes, seed, secs, --mixed)` tuple produces byte-identical
-//! stdout for any thread count — the determinism the paper's methodology
-//! demands of every experiment in this workspace.
+//! Both modes print byte-identical stdout for any `--threads` value —
+//! the determinism the paper's methodology demands of every experiment
+//! in this workspace. Unknown flags exit non-zero with a usage message.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
+use uniserver_bench::cluster::{summary_to_json, timing_to_json};
 use uniserver_bench::fleet::{simulate_timed, FleetConfig};
+use uniserver_orchestrator::{run_timed, MarginPolicy, OrchestratorConfig};
 use uniserver_stress::campaign::ShmooCampaign;
 use uniserver_units::Seconds;
 
 struct Args {
-    nodes: usize,
+    cluster: bool,
+    nodes: Option<usize>,
     seed: u64,
-    secs: f64,
+    secs: Option<f64>,
+    tick: Option<f64>,
     threads: usize,
     per_node: bool,
+    per_tick: bool,
     mixed: bool,
     baseline: bool,
+    nominal: bool,
     bench: Option<String>,
     label: Option<String>,
 }
@@ -47,13 +68,17 @@ struct Args {
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     let _ = argv.next(); // program name
     let mut args = Args {
-        nodes: 64,
+        cluster: false,
+        nodes: None,
         seed: 2018,
-        secs: 120.0,
+        secs: None,
+        tick: None,
         threads: 0,
         per_node: true,
+        per_tick: true,
         mixed: false,
         baseline: false,
+        nominal: false,
         bench: None,
         label: None,
     };
@@ -62,15 +87,25 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             argv.next().ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
-            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--cluster" => args.cluster = true,
+            "--nodes" => {
+                args.nodes = Some(value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?);
+            }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--secs" => {
+                args.secs = Some(value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?);
+            }
+            "--tick" => {
+                args.tick = Some(value("--tick")?.parse().map_err(|e| format!("--tick: {e}"))?);
+            }
             "--threads" => {
                 args.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--no-per-node" => args.per_node = false,
+            "--no-per-tick" => args.per_tick = false,
             "--mixed" => args.mixed = true,
             "--baseline" => args.baseline = true,
+            "--nominal" => args.nominal = true,
             "--bench" => args.bench = Some(value("--bench")?),
             "--label" => args.label = Some(value("--label")?),
             "--help" | "-h" => {
@@ -79,37 +114,94 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if args.nodes == 0 {
+    if args.nodes == Some(0) {
         return Err("--nodes must be at least 1".into());
     }
-    if args.secs <= 0.0 || !args.secs.is_finite() {
+    if args.secs.is_some_and(|s| s <= 0.0 || !s.is_finite()) {
         return Err("--secs must be positive".into());
+    }
+    if args.tick.is_some_and(|t| t <= 0.0 || !t.is_finite()) {
+        return Err("--tick must be positive".into());
+    }
+    if args.cluster {
+        if args.mixed {
+            return Err("--mixed is implied by --cluster (the rack is always mixed)".into());
+        }
+        if args.baseline {
+            return Err("--baseline is a fleet-mode flag; use --nominal with --cluster".into());
+        }
+        if !args.per_node {
+            return Err("--no-per-node is a fleet-mode flag; use --no-per-tick with --cluster".into());
+        }
+    } else {
+        if args.nominal {
+            return Err("--nominal requires --cluster".into());
+        }
+        if args.tick.is_some() {
+            return Err("--tick requires --cluster (fleet mode uses a fixed 1 s tick)".into());
+        }
+        if !args.per_tick {
+            return Err("--no-per-tick requires --cluster; use --no-per-node in fleet mode".into());
+        }
     }
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse(std::env::args()) {
-        Ok(a) => a,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
-            eprintln!(
-                "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
-                 [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]"
-            );
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
-        }
-    };
+fn usage() {
+    eprintln!(
+        "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
+         [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
+         \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
+         [--threads K] [--nominal] [--bench PATH] [--label NAME] [--no-per-tick]"
+    );
+}
 
+fn append_bench(path: &str, line: &str) -> ExitCode {
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = appended {
+        eprintln!("error: cannot append bench record to {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_cluster(args: Args) -> ExitCode {
+    let nodes = args.nodes.unwrap_or(256);
+    let mut config = OrchestratorConfig::datacenter(nodes, args.seed);
+    if let Some(secs) = args.secs {
+        config.horizon = Seconds::new(secs);
+    }
+    if let Some(tick) = args.tick {
+        config.tick = Seconds::new(tick);
+    }
+    config.threads = args.threads;
+    if args.nominal {
+        config.margins = MarginPolicy::Nominal;
+    }
+
+    let (summary, timing) = run_timed(&config);
+    println!("{}", summary_to_json(&summary, args.per_tick));
+
+    if let Some(path) = args.bench {
+        let label = args.label.unwrap_or_else(|| format!("cluster-{}", summary.margins));
+        return append_bench(&path, &timing_to_json(&timing, &label));
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_fleet(args: Args) -> ExitCode {
+    let nodes = args.nodes.unwrap_or(64);
     let base = if args.mixed {
-        FleetConfig::mixed(args.nodes, args.seed)
+        FleetConfig::mixed(nodes, args.seed)
     } else {
-        FleetConfig::quick(args.nodes, args.seed)
+        FleetConfig::quick(nodes, args.seed)
     };
     let mut config = FleetConfig {
-        horizon: Seconds::new(args.secs),
+        horizon: Seconds::new(args.secs.unwrap_or(120.0)),
         threads: args.threads,
         ..base
     };
@@ -132,16 +224,25 @@ fn main() -> ExitCode {
             let mix = if args.mixed { "mixed" } else { "arm" };
             format!("{mix}-{mode}")
         });
-        let line = timing.to_json(&label);
-        let appended = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .and_then(|mut f| writeln!(f, "{line}"));
-        if let Err(e) = appended {
-            eprintln!("error: cannot append bench record to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        return append_bench(&path, &timing.to_json(&label));
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    if args.cluster {
+        run_cluster(args)
+    } else {
+        run_fleet(args)
+    }
 }

@@ -1,0 +1,122 @@
+//! Machine-readable rendering of orchestrated cluster runs.
+//!
+//! The orchestrator crate produces structured, `PartialEq`-comparable
+//! summaries; this module renders them to the same stable-key-order JSON
+//! the fleet driver emits, so `fleet_sim --cluster` output is
+//! byte-diffable across thread counts and CI runs. Wall-clock timings
+//! render separately (the `BENCH_cluster.json` record shape) and are
+//! deliberately *not* part of the deterministic summary.
+
+use uniserver_orchestrator::summary::{ClusterSummary, OrchestratorTiming};
+
+use crate::render::json::JsonWriter;
+
+/// Renders a cluster summary as JSON with a stable key order. Identical
+/// summaries render to byte-identical strings. `per_tick` controls
+/// whether the (long) time series is included.
+#[must_use]
+pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
+    let mut w = JsonWriter::object();
+    w.field_u64("nodes", s.nodes as u64);
+    w.field_u64("seed", s.seed);
+    w.field_str("margins", &s.margins);
+    w.field_f64("horizon_secs", s.horizon_secs);
+    w.field_f64("tick_secs", s.tick_secs);
+    w.field_u64("ticks", s.ticks);
+    w.field_u64("offered", s.offered);
+    w.field_u64("placed", s.placed);
+    w.field_u64("rejected", s.rejected);
+    w.field_u64("completed", s.completed);
+    w.field_u64("evicted", s.evicted);
+    w.field_u64("live_at_end", s.live_at_end);
+    w.field_u64("crashes", s.crashes);
+    w.field_u64("crash_migrations", s.crash_migrations);
+    w.field_u64("migrations_settled", s.migrations_settled);
+    w.field_u64("proactive_migrations", s.proactive_migrations);
+    w.field_u64("sla_violations", s.sla_violations);
+    w.field_f64("migration_downtime_secs", s.migration_downtime_secs);
+    w.field_f64("energy_j", s.energy_j);
+    w.field_f64("mean_availability", s.mean_availability);
+    w.field_f64("min_availability", s.min_availability);
+    w.field_f64("mean_utilization", s.mean_utilization);
+    w.field_f64("min_offset_mv_mean", s.min_offset_mv_mean);
+    let class_names = ["gold", "silver", "bronze"];
+    w.field_array("per_class", s.per_class.iter().enumerate(), |(i, c), out| {
+        let mut cw = JsonWriter::object();
+        cw.field_str("class", class_names[i]);
+        cw.field_u64("offered", c.offered);
+        cw.field_u64("placed", c.placed);
+        cw.field_u64("rejected", c.rejected);
+        cw.field_u64("violations", c.violations);
+        out.push_str(&cw.finish());
+    });
+    w.field_array("per_part", s.per_part.iter(), |part, out| {
+        let mut pw = JsonWriter::object();
+        pw.field_str("part", &part.part);
+        pw.field_u64("nodes", part.nodes as u64);
+        pw.field_u64("crashes", part.crashes);
+        pw.field_f64("min_offset_mv_mean", part.min_offset_mv_mean);
+        out.push_str(&pw.finish());
+    });
+    if per_tick {
+        w.field_array("per_tick", s.per_tick.iter(), |t, out| {
+            let mut tw = JsonWriter::object();
+            tw.field_u64("tick", t.tick);
+            tw.field_u64("offered", t.offered);
+            tw.field_u64("placed", t.placed);
+            tw.field_u64("completed", t.completed);
+            tw.field_u64("live", t.live);
+            tw.field_u64("crashes", t.crashes);
+            tw.field_u64("migrations", t.migrations);
+            tw.field_f64("energy_j", t.energy_j);
+            out.push_str(&tw.finish());
+        });
+    }
+    w.finish()
+}
+
+/// Renders the timing record (the `BENCH_cluster.json` entry shape).
+#[must_use]
+pub fn timing_to_json(t: &OrchestratorTiming, label: &str) -> String {
+    let mut w = JsonWriter::object();
+    w.field_str("label", label);
+    w.field_u64("nodes", t.nodes as u64);
+    w.field_u64("arrivals", t.arrivals);
+    w.field_u64("threads", t.workers as u64);
+    w.field_f64("wall_ms", t.wall_ms);
+    w.field_f64("deploy_ms", t.deploy_ms);
+    w.field_f64("serve_ms", t.serve_ms);
+    w.field_f64("deploy_ms_per_node", t.deploy_ms / t.nodes.max(1) as f64);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_orchestrator::{run_timed, OrchestratorConfig};
+
+    #[test]
+    fn summary_json_is_byte_stable_across_worker_counts() {
+        let mut config = OrchestratorConfig::smoke(4, 77);
+        config.threads = 1;
+        let (a, _) = run_timed(&config);
+        config.threads = 4;
+        let (b, _) = run_timed(&config);
+        assert_eq!(summary_to_json(&a, true), summary_to_json(&b, true));
+        assert_eq!(summary_to_json(&a, false), summary_to_json(&b, false));
+        assert!(summary_to_json(&a, true).contains("\"per_tick\":["));
+        assert!(!summary_to_json(&a, false).contains("per_tick"));
+    }
+
+    #[test]
+    fn timing_record_has_the_bench_shape() {
+        let config = OrchestratorConfig::smoke(2, 5);
+        let (_, timing) = run_timed(&config);
+        let json = timing_to_json(&timing, "smoke");
+        for key in
+            ["\"label\":\"smoke\"", "\"nodes\":2", "\"arrivals\":", "\"wall_ms\":", "\"deploy_ms_per_node\":"]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

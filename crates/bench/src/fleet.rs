@@ -52,17 +52,10 @@ use uniserver_core::ecosystem::{DeploymentConfig, Ecosystem, SavingsReport};
 use uniserver_core::training::AdvisorCache;
 use uniserver_hypervisor::vm::VmConfig;
 use uniserver_platform::part::PartSpec;
-use uniserver_silicon::rng::splitmix64;
+use uniserver_silicon::rng::{ambient_offset, salt, splitmix64, weighted_pick};
 use uniserver_units::{Celsius, Seconds};
 
 use crate::render::json::JsonWriter;
-
-/// Stream salts for the per-node heterogeneity draws: each knob gets its
-/// own SplitMix64 sub-stream off the node seed, so adding a knob never
-/// shifts another knob's draw.
-const PART_SALT: u64 = 0x9A97_1BD5_2C1E_0FF1;
-const MIX_SALT: u64 = 0x3C6E_F372_FE94_F82B;
-const AMBIENT_SALT: u64 = 0x1F83_D9AB_FB41_BD6B;
 
 /// One entry of the fleet's part mix.
 #[derive(Debug, Clone)]
@@ -155,26 +148,16 @@ impl FleetConfig {
         let seed = node_seed(self.seed, node);
         let mut dep = self.deployment.clone();
         if !self.part_mix.is_empty() {
-            let total: f64 = self.part_mix.iter().map(|s| s.weight).sum();
-            assert!(total > 0.0, "part mix weights must sum to a positive total");
-            let mut r = unit_fraction(splitmix64(seed ^ PART_SALT)) * total;
-            let mut chosen = self.part_mix.len() - 1;
-            for (i, share) in self.part_mix.iter().enumerate() {
-                if r < share.weight {
-                    chosen = i;
-                    break;
-                }
-                r -= share.weight;
-            }
+            let weights: Vec<f64> = self.part_mix.iter().map(|s| s.weight).collect();
+            let chosen = weighted_pick(splitmix64(seed ^ salt::PART), &weights);
             dep.spec = self.part_mix[chosen].spec.clone();
         }
         if !self.workload_mixes.is_empty() {
-            let idx = (splitmix64(seed ^ MIX_SALT) % self.workload_mixes.len() as u64) as usize;
+            let idx = (splitmix64(seed ^ salt::MIX) % self.workload_mixes.len() as u64) as usize;
             dep.guests.clone_from(&self.workload_mixes[idx]);
         }
         if self.ambient_spread > 0.0 {
-            let u = unit_fraction(splitmix64(seed ^ AMBIENT_SALT));
-            dep.ambient = dep.ambient + Celsius::new((2.0 * u - 1.0) * self.ambient_spread);
+            dep.ambient = dep.ambient + Celsius::new(ambient_offset(seed, self.ambient_spread));
         }
         dep
     }
@@ -189,11 +172,6 @@ impl FleetConfig {
             self.part_mix.iter().map(|s| s.spec.clone()).collect()
         }
     }
-}
-
-/// Maps a 64-bit word onto `[0, 1)` using the top 53 bits.
-fn unit_fraction(x: u64) -> f64 {
-    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Outcome of one node's deployment.
@@ -297,10 +275,11 @@ impl FleetTiming {
 
 /// Derives the silicon seed for one node — a pure function of the fleet
 /// seed and the node index (SplitMix64 finalizer), so shard boundaries
-/// and thread schedules can never shift it.
+/// and thread schedules can never shift it. Delegates to the workspace's
+/// single copy in [`uniserver_silicon::rng::indexed_seed`].
 #[must_use]
 pub fn node_seed(fleet_seed: u64, node: usize) -> u64 {
-    splitmix64(fleet_seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    uniserver_silicon::rng::indexed_seed(fleet_seed, node)
 }
 
 /// One node through deploy + serve; returns its outcome plus the

@@ -7,6 +7,7 @@
 //! paper's. The `repro` binary dispatches to them; the Criterion
 //! benches exercise the same code paths at reduced sizes.
 
+pub mod cluster;
 pub mod experiments;
 pub mod fleet;
 pub mod render;

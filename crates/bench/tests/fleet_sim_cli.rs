@@ -1,0 +1,62 @@
+//! CLI contract of the `fleet_sim` binary: flag validation exits
+//! non-zero with a usage message, and the cluster mode's stdout is
+//! byte-stable across thread counts.
+
+use std::process::{Command, Output};
+
+fn fleet_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fleet_sim"))
+        .args(args)
+        .output()
+        .expect("fleet_sim runs")
+}
+
+#[test]
+fn unknown_flags_exit_nonzero_with_usage() {
+    let out = fleet_sim(&["--frobnicate"]);
+    assert!(!out.status.success(), "unknown flags must not be silently ignored");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag '--frobnicate'"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: fleet_sim"), "stderr must show usage: {stderr}");
+}
+
+#[test]
+fn flag_value_and_mode_mismatches_exit_nonzero() {
+    for args in [
+        &["--nodes"][..],
+        &["--nodes", "zero"][..],
+        &["--nodes", "0"][..],
+        &["--secs", "-3"][..],
+        &["--nominal"][..],
+        &["--tick", "2"][..],
+        &["--no-per-tick"][..],
+        &["--cluster", "--mixed"][..],
+        &["--cluster", "--baseline"][..],
+        &["--cluster", "--no-per-node"][..],
+    ] {
+        let out = fleet_sim(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{args:?} stderr: {stderr}");
+    }
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = fleet_sim(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: fleet_sim"));
+}
+
+#[test]
+fn cluster_mode_is_byte_stable_across_thread_counts() {
+    let base = &["--cluster", "--nodes", "8", "--secs", "60", "--seed", "7"];
+    let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
+    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
+    assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "cluster summaries must be byte-identical");
+    let json = String::from_utf8_lossy(&one.stdout);
+    assert!(json.contains("\"margins\":\"extended\""));
+    assert!(json.contains("\"per_tick\":["));
+}

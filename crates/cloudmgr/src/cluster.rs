@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 use uniserver_units::{Joules, Seconds};
 
 use uniserver_hypervisor::vm::{VmConfig, VmId};
+use uniserver_platform::node::CrashEvent;
 use uniserver_platform::part::PartSpec;
+use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
 use crate::failure::FailurePredictor;
 use crate::migrate::MigrationModel;
@@ -15,13 +17,23 @@ use crate::node::{ManagedNode, NodeId};
 use crate::scheduler::Scheduler;
 use crate::sla::SlaClass;
 
+/// One entry of a cluster's weighted part mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartWeight {
+    /// The part this share provisions.
+    pub spec: PartSpec,
+    /// Relative weight (need not sum to 1).
+    pub weight: f64,
+}
+
 /// Cluster construction parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of nodes.
     pub nodes: usize,
-    /// Part every node is built from.
-    pub spec: PartSpec,
+    /// Weighted part mix the rack is populated from; a single entry
+    /// builds a homogeneous cluster.
+    pub part_mix: Vec<PartWeight>,
     /// Placement policy.
     pub scheduler: Scheduler,
     /// Migration network model.
@@ -29,21 +41,64 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// A small Edge site: `n` ARM micro-servers behind one switch.
+    /// A small Edge site: `n` identical ARM micro-servers behind one
+    /// switch (the homogeneous test/demo preset).
     #[must_use]
     pub fn small_edge_site(n: usize) -> Self {
         ClusterConfig {
             nodes: n,
-            spec: PartSpec::arm_microserver(),
+            part_mix: vec![PartWeight { spec: PartSpec::arm_microserver(), weight: 1.0 }],
             scheduler: Scheduler::default(),
             migration: MigrationModel::ten_gbe(),
         }
     }
+
+    /// The heterogeneous UniServer rack: `n` nodes drawn from the
+    /// reference fleet's ARM+i5+i7 mix at 6:1:1 part shares (the same
+    /// ratios as `FleetConfig::mixed`), behind a 10 GbE migration
+    /// network. Which node gets which part is a pure function of
+    /// `(build seed, node index)`.
+    #[must_use]
+    pub fn uniserver_rack(n: usize) -> Self {
+        ClusterConfig {
+            nodes: n,
+            part_mix: vec![
+                PartWeight { spec: PartSpec::arm_microserver(), weight: 6.0 },
+                PartWeight { spec: PartSpec::i5_4200u(), weight: 1.0 },
+                PartWeight { spec: PartSpec::i7_3970x(), weight: 1.0 },
+            ],
+            scheduler: Scheduler::default(),
+            migration: MigrationModel::ten_gbe(),
+        }
+    }
+
+    /// The part a given node of this cluster is built from, drawn from
+    /// the weighted mix by the node's seed. Pure in `(node_seed)`, so
+    /// cluster builds are schedule-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part mix is empty or has a non-positive total.
+    #[must_use]
+    pub fn node_spec(&self, node_seed: u64) -> &PartSpec {
+        assert!(!self.part_mix.is_empty(), "cluster part mix must not be empty");
+        let weights: Vec<f64> = self.part_mix.iter().map(|p| p.weight).collect();
+        let pick = weighted_pick(splitmix64(node_seed ^ salt::PART), &weights);
+        &self.part_mix[pick].spec
+    }
 }
+
+/// Stable identifier of one placement across migrations: the VM may move
+/// nodes (and get a new per-node [`VmId`]), but its placement id never
+/// changes — event queues key departures off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlacementId(pub u64);
 
 /// One tracked placement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
+    /// Stable identifier (survives migrations).
+    pub id: PlacementId,
     /// Node currently hosting the VM.
     pub node: NodeId,
     /// VM id on that node.
@@ -63,10 +118,42 @@ pub struct FleetMetrics {
     pub total_energy: Joules,
     /// Proactive migrations performed.
     pub migrations: u64,
+    /// Failure-driven migrations performed after node crashes.
+    pub crash_migrations: u64,
+    /// Placements evicted after node crashes (no healthy node fit them).
+    pub evictions: u64,
     /// Cumulative migration blackout across all moves.
     pub migration_downtime: Seconds,
     /// Placement requests rejected (no feasible node).
     pub rejected: u64,
+}
+
+/// What one cluster tick observed — the orchestrator's event feed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTickReport {
+    /// Crash events surfaced by the platform this tick, per node.
+    pub crashes: Vec<(NodeId, CrashEvent)>,
+    /// Energy consumed across the fleet this tick.
+    pub energy: Joules,
+    /// Proactive migrations performed this tick.
+    pub proactive_migrations: u64,
+    /// Placements lost this tick because a proactive move's relaunch
+    /// failed (stopped on the source, no room on the target).
+    pub evicted: Vec<Placement>,
+}
+
+/// The outcome of failure-driven recovery after one node crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRecovery {
+    /// Placements moved to healthy nodes (class and id preserved), each
+    /// with the predicted cost of its move — event-queue drivers
+    /// schedule the settle event at `cost.completes_at(now)`.
+    pub migrated: Vec<(Placement, crate::migrate::MigrationCost)>,
+    /// Placements that no healthy node could absorb; their VMs were
+    /// stopped on the crashed host.
+    pub evicted: Vec<Placement>,
+    /// Migration blackout paid by the moved placements.
+    pub downtime: Seconds,
 }
 
 /// The cluster.
@@ -77,14 +164,18 @@ pub struct Cluster {
     predictor: FailurePredictor,
     migration: MigrationModel,
     placements: Vec<Placement>,
+    next_placement: u64,
     migrations: u64,
+    crash_migrations: u64,
+    evictions: u64,
     migration_downtime: Seconds,
     rejected: u64,
 }
 
 impl Cluster {
     /// Provisions a cluster; node chips are manufactured from
-    /// `seed`, `seed+1`, … so every node is a *different* chip.
+    /// `seed`, `seed+1`, … so every node is a *different* chip, with
+    /// parts drawn from the configured mix.
     ///
     /// # Panics
     ///
@@ -94,16 +185,34 @@ impl Cluster {
         assert!(config.nodes > 0, "a cluster needs nodes");
         let nodes = (0..config.nodes)
             .map(|i| {
-                ManagedNode::provision(NodeId(i as u32), config.spec.clone(), seed + i as u64)
+                let node_seed = seed + i as u64;
+                let spec = config.node_spec(node_seed).clone();
+                ManagedNode::provision(NodeId(i as u32), spec, node_seed)
             })
             .collect();
+        Self::from_nodes(nodes, config.scheduler, config.migration)
+    }
+
+    /// Assembles a cluster from already-provisioned nodes — the
+    /// orchestrator's entry point after deploying nodes at their
+    /// Extended Operating Points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn from_nodes(nodes: Vec<ManagedNode>, scheduler: Scheduler, migration: MigrationModel) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs nodes");
         Cluster {
             nodes,
-            scheduler: config.scheduler,
+            scheduler,
             predictor: FailurePredictor::new(),
-            migration: config.migration,
+            migration,
             placements: Vec::new(),
+            next_placement: 0,
             migrations: 0,
+            crash_migrations: 0,
+            evictions: 0,
             migration_downtime: Seconds::ZERO,
             rejected: 0,
         }
@@ -135,7 +244,9 @@ impl Cluster {
         let node = self.node_mut(target);
         match node.launch(config) {
             Ok(vm) => {
-                let placement = Placement { node: target, vm, class };
+                let id = PlacementId(self.next_placement);
+                self.next_placement += 1;
+                let placement = Placement { id, node: target, vm, class };
                 self.placements.push(placement.clone());
                 Some(placement)
             }
@@ -148,30 +259,124 @@ impl Cluster {
 
     /// Advances the whole cluster by one interval: ticks every node,
     /// refreshes reliability scores, and proactively migrates protected
-    /// workloads off nodes predicted to fail.
-    pub fn tick(&mut self, duration: Seconds) {
+    /// workloads off nodes predicted to fail. The report surfaces crash
+    /// events (drained from each node's platform feed) so event-driven
+    /// callers can trigger failure-driven recovery.
+    pub fn tick(&mut self, duration: Seconds) -> ClusterTickReport {
+        let mut crashes = Vec::new();
+        let mut energy = Joules::ZERO;
         for node in &mut self.nodes {
-            node.tick(duration);
+            let outcome = node.tick(duration);
+            energy = energy + outcome.energy;
+            let id = node.id;
+            crashes.extend(outcome.crash_events.into_iter().map(|ev| (id, ev)));
         }
         for i in 0..self.nodes.len() {
             let id = self.nodes[i].id.0;
             let r = self.predictor.update_node(id, self.nodes[i].hypervisor.health());
             self.nodes[i].reliability = r;
         }
-        self.proactive_migrations();
+        // Nodes that crashed *this tick* are failure-recovery business,
+        // not prediction business: leave their placements for
+        // recover_from_crash so crash-interrupted VMs are classified
+        // (and SLA-charged) as such, never laundered into proactive
+        // moves by the crash line that just hit their own log.
+        let crashed_now: Vec<NodeId> = crashes.iter().map(|(id, _)| *id).collect();
+        let before = self.migrations;
+        let evicted = self.proactive_migrations(&crashed_now);
+        ClusterTickReport {
+            crashes,
+            energy,
+            proactive_migrations: self.migrations - before,
+            evicted,
+        }
+    }
+
+    /// Failure-driven recovery after a node crash: every tracked
+    /// placement on `node` is either migrated to a healthy node
+    /// (preserving its SLA class and placement id, Gold first) or
+    /// evicted. Post-condition: no tracked placement remains on `node`.
+    pub fn recover_from_crash(&mut self, crashed: NodeId) -> CrashRecovery {
+        let mut victims: Vec<Placement> = self
+            .placements
+            .iter()
+            .filter(|p| p.node == crashed)
+            .cloned()
+            .collect();
+        // Scarce spare capacity serves the highest classes first; ties
+        // keep submission order (stable sort, Gold < Silver < Bronze).
+        victims.sort_by_key(|p| p.class);
+
+        let mut recovery =
+            CrashRecovery { migrated: Vec::new(), evicted: Vec::new(), downtime: Seconds::ZERO };
+        for victim in victims {
+            let (config, cost) = {
+                let node = self.node_ref(victim.node);
+                match node.hypervisor.vm(victim.vm) {
+                    Some(vm) => (vm.config.clone(), self.migration.cost(vm)),
+                    // The VM record vanished (should not happen); drop
+                    // the stale placement.
+                    None => {
+                        self.forget(victim.id);
+                        recovery.evicted.push(victim);
+                        self.evictions += 1;
+                        continue;
+                    }
+                }
+            };
+            let target = self
+                .scheduler
+                .place(self.nodes.iter().filter(|n| n.id != crashed), &config, victim.class);
+            // Off the crashed host either way.
+            self.node_mut(victim.node).hypervisor.stop_vm(victim.vm);
+            let launched = target.and_then(|t| {
+                self.node_mut(t).launch(config).ok().map(|new_vm| (t, new_vm))
+            });
+            match launched {
+                Some((t, new_vm)) => {
+                    let moved = Placement { id: victim.id, node: t, vm: new_vm, class: victim.class };
+                    let slot = self
+                        .placements
+                        .iter_mut()
+                        .find(|p| p.id == victim.id)
+                        .expect("victim is tracked");
+                    *slot = moved.clone();
+                    self.crash_migrations += 1;
+                    self.migration_downtime = self.migration_downtime + cost.downtime;
+                    recovery.downtime = recovery.downtime + cost.downtime;
+                    recovery.migrated.push((moved, cost));
+                }
+                None => {
+                    self.forget(victim.id);
+                    self.evictions += 1;
+                    recovery.evicted.push(victim);
+                }
+            }
+        }
+        recovery
+    }
+
+    /// Drops a placement from tracking without touching its VM.
+    fn forget(&mut self, id: PlacementId) {
+        if let Some(idx) = self.placements.iter().position(|p| p.id == id) {
+            self.placements.swap_remove(idx);
+        }
     }
 
     /// Moves Gold/Silver VMs off nodes whose predicted reliability has
-    /// collapsed.
-    fn proactive_migrations(&mut self) {
+    /// collapsed — skipping `exclude` (nodes that just crashed; their
+    /// placements belong to failure-driven recovery). Returns the
+    /// placements lost to failed relaunches.
+    fn proactive_migrations(&mut self, exclude: &[NodeId]) -> Vec<Placement> {
+        let mut lost = Vec::new();
         let failing: Vec<NodeId> = self
             .nodes
             .iter()
-            .filter(|n| self.predictor.predicts_failure(n.reliability))
+            .filter(|n| self.predictor.predicts_failure(n.reliability) && !exclude.contains(&n.id))
             .map(|n| n.id)
             .collect();
         if failing.is_empty() {
-            return;
+            return lost;
         }
         let mut moves: Vec<(usize, Placement)> = Vec::new();
         for (idx, placement) in self.placements.iter().enumerate() {
@@ -202,11 +407,20 @@ impl Cluster {
             // Stop on the failing source, start on the healthy target.
             self.node_mut(placement.node).hypervisor.stop_vm(placement.vm);
             if let Ok(new_vm) = self.node_mut(target).launch(config) {
-                self.placements[idx] = Placement { node: target, vm: new_vm, class: placement.class };
+                self.placements[idx] =
+                    Placement { id: placement.id, node: target, vm: new_vm, class: placement.class };
                 self.migrations += 1;
                 self.migration_downtime = self.migration_downtime + cost.downtime;
+            } else {
+                // The target filled up between weighing and launch; the
+                // VM is already stopped on the failing source, so the
+                // move became an eviction. (Back-to-front iteration
+                // keeps the remaining indices valid across swap_remove.)
+                lost.push(self.placements.swap_remove(idx));
+                self.evictions += 1;
             }
         }
+        lost
     }
 
     /// Terminates a tracked placement (the VM's lifetime ended).
@@ -220,14 +434,25 @@ impl Cluster {
         else {
             return false;
         };
+        self.terminate_idx(idx)
+    }
+
+    /// Terminates by stable placement id — migration-proof: the event
+    /// queue's departure events stay valid even after the VM moved
+    /// nodes. Returns false when the id is no longer tracked (the
+    /// placement was evicted).
+    pub fn terminate_by_id(&mut self, id: PlacementId) -> bool {
+        let Some(idx) = self.placements.iter().position(|p| p.id == id) else {
+            return false;
+        };
+        self.terminate_idx(idx)
+    }
+
+    fn terminate_idx(&mut self, idx: usize) -> bool {
         let record = self.placements.swap_remove(idx);
-        let node = self.node_mut(record.node);
-        if node.hypervisor.vm(record.vm).is_some() {
-            node.hypervisor.stop_vm(record.vm);
-            true
-        } else {
-            false
-        }
+        // stop_vm is idempotent: false means the VM was already stopped
+        // (e.g. by a migration whose relaunch failed).
+        self.node_mut(record.node).hypervisor.stop_vm(record.vm)
     }
 
     /// Aggregated fleet metrics.
@@ -253,9 +478,17 @@ impl Cluster {
             mean_utilization: utilization,
             total_energy: energy,
             migrations: self.migrations,
+            crash_migrations: self.crash_migrations,
+            evictions: self.evictions,
             migration_downtime: self.migration_downtime,
             rejected: self.rejected,
         }
+    }
+
+    /// Tracked placements currently on `node`.
+    #[must_use]
+    pub fn placements_on(&self, node: NodeId) -> Vec<&Placement> {
+        self.placements.iter().filter(|p| p.node == node).collect()
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut ManagedNode {
@@ -381,5 +614,91 @@ mod tests {
     #[should_panic(expected = "needs nodes")]
     fn empty_cluster_panics() {
         let _ = Cluster::build(&ClusterConfig::small_edge_site(0), 1);
+    }
+
+    #[test]
+    fn uniserver_rack_mixes_parts_six_to_one_to_one() {
+        let config = ClusterConfig::uniserver_rack(64);
+        let cluster = Cluster::build(&config, 500);
+        let mut counts = [0usize; 3];
+        for node in cluster.nodes() {
+            let name = &node.hypervisor.node().part().name;
+            let idx = config
+                .part_mix
+                .iter()
+                .position(|p| &p.spec.name == name)
+                .expect("drawn part comes from the mix");
+            counts[idx] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "64 draws must hit every part: {counts:?}");
+        assert!(counts[0] > counts[1] + counts[2], "ARM dominates 6:1:1: {counts:?}");
+        // Pure function of (seed, index): rebuilding reproduces the rack.
+        let again = Cluster::build(&config, 500);
+        for (a, b) in cluster.nodes().iter().zip(again.nodes()) {
+            assert_eq!(a.hypervisor.node().part().name, b.hypervisor.node().part().name);
+        }
+    }
+
+    #[test]
+    fn placement_ids_are_stable_and_unique() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        let a = cluster.submit(VmConfig::idle_guest(), SlaClass::Silver).expect("placed");
+        let b = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed");
+        assert_ne!(a.id, b.id);
+        assert!(cluster.terminate_by_id(a.id));
+        assert!(!cluster.terminate_by_id(a.id), "double termination is reported");
+        assert!(cluster.terminate_by_id(b.id));
+    }
+
+    #[test]
+    fn crash_recovery_clears_the_crashed_node() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        let placed: Vec<Placement> = (0..4)
+            .filter_map(|i| {
+                let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+                cluster.submit(VmConfig::idle_guest(), class)
+            })
+            .collect();
+        assert_eq!(placed.len(), 4);
+        let crashed = placed[0].node;
+        let before = cluster.placements_on(crashed).len();
+        assert!(before > 0);
+        let recovery = cluster.recover_from_crash(crashed);
+        assert_eq!(recovery.migrated.len() + recovery.evicted.len(), before);
+        assert!(cluster.placements_on(crashed).is_empty(), "no placement survives the crash");
+        for (moved, cost) in &recovery.migrated {
+            assert_ne!(moved.node, crashed);
+            assert!(cost.duration.as_secs() > 0.0, "every move has a real cost");
+            let tracked = cluster
+                .placements()
+                .iter()
+                .find(|p| p.id == moved.id)
+                .expect("migrated placement stays tracked");
+            assert_eq!(tracked.class, moved.class, "migration preserves the SLA class");
+        }
+        let m = cluster.fleet_metrics();
+        assert_eq!(m.crash_migrations, recovery.migrated.len() as u64);
+        assert_eq!(m.evictions, recovery.evicted.len() as u64);
+    }
+
+    #[test]
+    fn tick_surfaces_crash_events() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+        cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Bronze);
+        // Undervolt node 0 deep into its crash region.
+        let node = &mut cluster.nodes_mut()[0];
+        let deep = node.hypervisor.node().part().offset_mv(0.20);
+        node.hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..60 {
+            let report = cluster.tick(Seconds::new(1.0));
+            if !report.crashes.is_empty() {
+                seen = report.crashes;
+                break;
+            }
+        }
+        assert!(!seen.is_empty(), "a 20 % undervolt must surface a crash event");
+        assert_eq!(seen[0].0, NodeId(0));
+        assert!(seen[0].1.voltage.as_volts() > 0.0);
     }
 }

@@ -60,9 +60,18 @@ pub struct FailurePredictor {
     pub window_lines: usize,
     /// Log-score at which reliability reaches ~0.27 (e^-1.3).
     pub score_scale: f64,
+    /// Per-update decay of the rolling score while a node's log stays
+    /// silent: error evidence ages out, so a node that has run clean
+    /// since its last event gradually regains trust (and re-enters the
+    /// scheduler's pool) instead of being quarantined forever.
+    pub silent_decay: f64,
     /// Per-node count of log lines already consumed (so scoring is
     /// incremental, "minimal overhead and non-intrusive").
     consumed: HashMap<u32, usize>,
+    /// Per-node rolling score: a node whose log did not grow since the
+    /// last update decays its memoized score instead of re-scanning —
+    /// the cluster loop calls this for every node every tick.
+    scores: HashMap<u32, f64>,
 }
 
 impl FailurePredictor {
@@ -73,7 +82,9 @@ impl FailurePredictor {
             patterns: PatternWeights::default_book(),
             window_lines: 64,
             score_scale: 4.0,
+            silent_decay: 0.97,
             consumed: HashMap::new(),
+            scores: HashMap::new(),
         }
     }
 
@@ -87,14 +98,31 @@ impl FailurePredictor {
         (-score / self.score_scale).exp()
     }
 
-    /// Incremental variant keyed by node id: only newly appended lines
-    /// change the rolling score (used by the cluster loop).
+    /// Incremental variant keyed by node id: the log is only re-scored
+    /// when it grew since the last update (healthy nodes with silent
+    /// logs cost one HashMap probe — the cluster loop polls every node
+    /// every tick), and while it stays silent the rolling score decays
+    /// by [`FailurePredictor::silent_decay`] per update, so past error
+    /// evidence ages out and the node's reliability recovers towards
+    /// 1.0.
     pub fn update_node(&mut self, node_id: u32, health: &HealthLog) -> f64 {
-        let seen = self.consumed.entry(node_id).or_insert(0);
-        *seen = (*seen).min(health.logfile().len());
-        // Rolling windows re-read at most `window_lines` lines.
-        let _ = seen;
-        self.reliability(health)
+        let len = health.logfile().len();
+        let score = match (self.consumed.get(&node_id), self.scores.get_mut(&node_id)) {
+            (Some(&seen), Some(score)) if seen == len => {
+                *score *= self.silent_decay;
+                *score
+            }
+            _ => {
+                let lines = health.logfile();
+                let start = lines.len().saturating_sub(self.window_lines);
+                let score: f64 =
+                    lines[start..].iter().map(|l| self.patterns.score_line(l)).sum();
+                self.consumed.insert(node_id, len);
+                self.scores.insert(node_id, score);
+                score
+            }
+        };
+        (-score / self.score_scale).exp()
     }
 
     /// Whether the score crosses the "about to fail" line.
@@ -159,6 +187,40 @@ mod tests {
         let h = log_with(&lines);
         // The crashes scrolled out of the 64-line window.
         assert_eq!(p.reliability(&h), 1.0);
+    }
+
+    #[test]
+    fn update_node_memoizes_and_decays_until_the_log_grows() {
+        let mut p = FailurePredictor::new();
+        let mut h = log_with(&["t=1 err[CE@l3bank0]"]);
+        let first = p.update_node(7, &h);
+        assert_eq!(first, p.reliability(&h));
+        let second = p.update_node(7, &h);
+        assert!(second >= first, "silent ticks must not erode trust: {second} vs {first}");
+        h.log_note("t=2 dur=1 crashed=true err[FATAL@core0]");
+        let after = p.update_node(7, &h);
+        assert!(after < second, "new crash line must re-score: {after} vs {second}");
+        assert_eq!(after, p.reliability(&h));
+        // Other nodes are keyed independently.
+        let clean = log_with(&[]);
+        assert_eq!(p.update_node(8, &clean), 1.0);
+    }
+
+    #[test]
+    fn silent_nodes_rehabilitate() {
+        let mut p = FailurePredictor::new();
+        let h = log_with(&["t=9 dur=1 crashed=true err[FATAL@core0]"]);
+        let crashed = p.update_node(3, &h);
+        assert!(p.predicts_failure(crashed), "fresh crash must predict failure");
+        let mut r = crashed;
+        let mut updates = 0;
+        while p.predicts_failure(r) {
+            r = p.update_node(3, &h);
+            updates += 1;
+            assert!(updates < 200, "a clean-running node must eventually regain trust");
+        }
+        // Recovery is gradual, not instant: quarantine lasts a while.
+        assert!(updates > 10, "rehabilitation must take time, took {updates} updates");
     }
 
     #[test]

@@ -41,9 +41,12 @@ pub mod scheduler;
 pub mod sla;
 pub mod stream;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterTickReport, CrashRecovery, PartWeight, Placement, PlacementId,
+};
 pub use failure::FailurePredictor;
+pub use migrate::{MigrationCost, MigrationModel};
 pub use node::{ManagedNode, NodeId, NodeMetrics};
 pub use scheduler::{Scheduler, SchedulerWeights};
 pub use sla::SlaClass;
-pub use stream::{StreamDriver, VmStream};
+pub use stream::{arrival_seed, Arrival, StreamDriver, VmStream};

@@ -52,6 +52,15 @@ pub struct MigrationCost {
     pub rounds: u32,
 }
 
+impl MigrationCost {
+    /// When a migration started at `now` finishes — the completion event
+    /// an event-queue driver schedules.
+    #[must_use]
+    pub fn completes_at(&self, now: Seconds) -> Seconds {
+        now + self.duration
+    }
+}
+
 impl MigrationModel {
     /// Predicts the cost of migrating `vm` given its current footprint.
     #[must_use]

@@ -52,7 +52,14 @@ impl ManagedNode {
     /// Provisions a node of the given part, seeded deterministically.
     #[must_use]
     pub fn provision(id: NodeId, spec: PartSpec, seed: u64) -> Self {
-        let node = ServerNode::new(spec, seed);
+        Self::adopt(id, ServerNode::new(spec, seed))
+    }
+
+    /// Wraps an already-prepared node (e.g. one provisioned at its
+    /// Extended Operating Point by the orchestrator's deploy plumbing)
+    /// into a managed node.
+    #[must_use]
+    pub fn adopt(id: NodeId, node: ServerNode) -> Self {
         ManagedNode { id, hypervisor: Hypervisor::new(node), energy: Joules::ZERO, reliability: 1.0 }
     }
 

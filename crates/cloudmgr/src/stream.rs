@@ -13,10 +13,23 @@ use serde::{Deserialize, Serialize};
 use uniserver_units::Seconds;
 
 use uniserver_hypervisor::vm::VmConfig;
-use uniserver_silicon::rng::{exponential, poisson};
+use uniserver_silicon::rng::{exponential, poisson, splitmix64};
 
 use crate::cluster::{Cluster, Placement};
 use crate::sla::SlaClass;
+
+/// Sub-stream salt for the arrival process (keeps arrival draws
+/// independent of the fleet's part/mix/ambient draws off the same seed).
+const ARRIVAL_SALT: u64 = 0x4528_21E6_38D0_1377;
+
+/// Derives the RNG seed for one tick's arrival batch — a pure function
+/// of `(stream seed, tick index)` exactly as `fleet::node_seed` derives
+/// node silicon, so arrival streams are byte-stable however the driving
+/// loop is scheduled or threaded.
+#[must_use]
+pub fn arrival_seed(stream_seed: u64, tick: u64) -> u64 {
+    splitmix64(stream_seed ^ ARRIVAL_SALT ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Stream configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +46,18 @@ pub struct VmStream {
     pub silver_fraction: f64,
 }
 
+/// One VM arrival drawn from a stream: what to run, at which class, for
+/// how long.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Guest configuration.
+    pub config: VmConfig,
+    /// SLA class of the request.
+    pub class: SlaClass,
+    /// Requested lifetime (exponential around the stream mean).
+    pub lifetime: Seconds,
+}
+
 impl VmStream {
     /// A busy edge-site stream: ~one arrival per 20 s, 2-minute
     /// lifetimes, 20 % gold / 30 % silver.
@@ -44,6 +69,50 @@ impl VmStream {
             template: VmConfig::idle_guest(),
             gold_fraction: 0.2,
             silver_fraction: 0.3,
+        }
+    }
+
+    /// A datacenter-scale stream: three LDBC guests arriving per second,
+    /// 5-minute lifetimes, 20 % gold / 30 % silver — ≥10⁴ arrivals over
+    /// a simulated hour, the orchestrator's headline load.
+    #[must_use]
+    pub fn datacenter() -> Self {
+        VmStream {
+            arrival_rate: 3.0,
+            mean_lifetime: Seconds::new(300.0),
+            template: VmConfig::ldbc_benchmark(),
+            gold_fraction: 0.2,
+            silver_fraction: 0.3,
+        }
+    }
+
+    /// The arrival batch of one tick, drawn from a per-tick sub-stream
+    /// of `stream_seed` (see [`arrival_seed`]). Pure in
+    /// `(self, stream_seed, tick, duration)`: the event-queue driver can
+    /// generate batches in any order — or in parallel — and always get
+    /// the same stream.
+    #[must_use]
+    pub fn tick_arrivals(&self, stream_seed: u64, tick: u64, duration: Seconds) -> Vec<Arrival> {
+        let mut rng = StdRng::seed_from_u64(arrival_seed(stream_seed, tick));
+        let count = poisson(&mut rng, self.arrival_rate * duration.as_secs());
+        (0..count)
+            .map(|_| {
+                let class = self.sample_class_with(&mut rng);
+                let lifetime =
+                    Seconds::new(exponential(&mut rng, self.mean_lifetime.as_secs()));
+                Arrival { config: self.template.clone(), class, lifetime }
+            })
+            .collect()
+    }
+
+    fn sample_class_with<R: Rng>(&self, rng: &mut R) -> SlaClass {
+        let x: f64 = rng.gen();
+        if x < self.gold_fraction {
+            SlaClass::Gold
+        } else if x < self.gold_fraction + self.silver_fraction {
+            SlaClass::Silver
+        } else {
+            SlaClass::Bronze
         }
     }
 }
@@ -65,14 +134,17 @@ pub struct StreamDriver {
     config: VmStream,
     live: Vec<(Placement, Seconds)>,
     stats: StreamStats,
-    rng: StdRng,
+    seed: u64,
+    tick: u64,
 }
 
 impl StreamDriver {
-    /// Creates a driver with a deterministic seed.
+    /// Creates a driver with a deterministic seed. Arrival draws derive
+    /// from per-tick sub-streams of `seed` (see [`arrival_seed`]), so a
+    /// driven run is reproducible tick-by-tick.
     #[must_use]
     pub fn new(config: VmStream, seed: u64) -> Self {
-        StreamDriver { config, live: Vec::new(), stats: StreamStats::default(), rng: StdRng::seed_from_u64(seed) }
+        StreamDriver { config, live: Vec::new(), stats: StreamStats::default(), seed, tick: 0 }
     }
 
     /// Cumulative statistics.
@@ -90,11 +162,12 @@ impl StreamDriver {
     /// Drives one interval: terminate expired guests, then offer new
     /// arrivals, then tick the cluster.
     pub fn drive(&mut self, cluster: &mut Cluster, duration: Seconds) {
-        // --- Departures.
+        // --- Departures, keyed by stable placement id so a VM that was
+        // migrated (new node, new per-node VmId) still terminates.
         let mut survivors = Vec::with_capacity(self.live.len());
         for (placement, mut remaining) in self.live.drain(..) {
             if remaining <= duration {
-                if cluster.terminate(&placement) {
+                if cluster.terminate_by_id(placement.id) {
                     self.stats.terminated += 1;
                 }
             } else {
@@ -104,31 +177,17 @@ impl StreamDriver {
         }
         self.live = survivors;
 
-        // --- Arrivals.
-        let arrivals = poisson(&mut self.rng, self.config.arrival_rate * duration.as_secs());
-        for _ in 0..arrivals {
+        // --- Arrivals, from this tick's sub-stream.
+        for arrival in self.config.tick_arrivals(self.seed, self.tick, duration) {
             self.stats.offered += 1;
-            let class = self.sample_class();
-            if let Some(placement) = cluster.submit(self.config.template.clone(), class) {
+            if let Some(placement) = cluster.submit(arrival.config, arrival.class) {
                 self.stats.placed += 1;
-                let lifetime =
-                    Seconds::new(exponential(&mut self.rng, self.config.mean_lifetime.as_secs()));
-                self.live.push((placement, lifetime));
+                self.live.push((placement, arrival.lifetime));
             }
         }
+        self.tick += 1;
 
         cluster.tick(duration);
-    }
-
-    fn sample_class(&mut self) -> SlaClass {
-        let x: f64 = self.rng.gen();
-        if x < self.config.gold_fraction {
-            SlaClass::Gold
-        } else if x < self.config.gold_fraction + self.config.silver_fraction {
-            SlaClass::Silver
-        } else {
-            SlaClass::Bronze
-        }
     }
 }
 
@@ -170,6 +229,28 @@ mod tests {
         assert!(cluster.fleet_metrics().rejected > 0);
         // But what was placed keeps running: no crashes from churn alone.
         assert_eq!(cluster.fleet_metrics().mean_availability, 1.0);
+    }
+
+    #[test]
+    fn tick_arrivals_are_pure_and_order_independent() {
+        let s = VmStream::datacenter();
+        let forward: Vec<_> = (0..50).map(|t| s.tick_arrivals(9, t, Seconds::new(5.0))).collect();
+        let backward: Vec<_> =
+            (0..50).rev().map(|t| s.tick_arrivals(9, t, Seconds::new(5.0))).collect();
+        for (t, batch) in forward.iter().enumerate() {
+            assert_eq!(batch, &backward[49 - t], "tick {t} must not depend on draw order");
+        }
+        let total: usize = forward.iter().map(Vec::len).sum();
+        assert!((600..=900).contains(&total), "3/s × 250 s ≈ 750 arrivals, got {total}");
+        let gold = forward.iter().flatten().filter(|a| a.class == SlaClass::Gold).count();
+        assert!(gold > 0, "the class mix must draw gold arrivals");
+    }
+
+    #[test]
+    fn arrival_seed_separates_ticks_and_seeds() {
+        assert_ne!(arrival_seed(1, 0), arrival_seed(1, 1));
+        assert_ne!(arrival_seed(1, 0), arrival_seed(2, 0));
+        assert_eq!(arrival_seed(7, 42), arrival_seed(7, 42));
     }
 
     #[test]

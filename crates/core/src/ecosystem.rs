@@ -91,6 +91,38 @@ pub struct SavingsReport {
     pub recharacterizations: u64,
 }
 
+/// Provisions one bare node at its Extended Operating Point — the
+/// deploy-into-cluster plumbing. The node is manufactured from `seed`,
+/// characterized by the StressLog (per-node silicon, exactly as
+/// [`Ecosystem::deploy_with_advisor`] does it), the optimizer chooses an
+/// EOP against the shared part-level `advisor`, and the point is
+/// programmed into the node's MSRs. Unlike a full [`Ecosystem`], no
+/// guests are launched and no baseline twin is kept: the caller (a
+/// cluster manager) owns VM placement and baseline accounting.
+///
+/// `expected_workload` is the load the optimizer assumes when weighing
+/// crash risk; cluster deployments pass their dominant guest profile.
+#[must_use]
+pub fn provision_node(
+    config: &DeploymentConfig,
+    seed: u64,
+    advisor: &ModeAdvisor,
+) -> (ServerNode, OperatingPoint) {
+    let mut node = ServerNode::new(config.spec.clone(), seed);
+    node.set_ambient(config.ambient);
+    let mut stresslog = StressLog::new(config.stress_params.clone());
+    let margins = stresslog.characterize(&mut node, None);
+    let expected_workload = config
+        .guests
+        .first()
+        .map(|g| g.workload.clone())
+        .unwrap_or_else(WorkloadProfile::idle);
+    let point =
+        config.optimizer.choose(&config.spec, &margins, advisor, &expected_workload, config.ambient);
+    point.apply_to(&mut node);
+    (node, point)
+}
+
 /// The deployed UniServer ecosystem.
 #[derive(Debug, Clone)]
 pub struct Ecosystem {
@@ -201,18 +233,7 @@ impl Ecosystem {
     }
 
     fn apply_point(&mut self, point: OperatingPoint) {
-        for (core, &mv) in point.core_offsets_mv.iter().enumerate() {
-            self.hypervisor
-                .node_mut()
-                .msr
-                .set_voltage_offset(core, mv.min(250.0))
-                .expect("optimizer offsets are within MSR limits");
-        }
-        self.hypervisor
-            .node_mut()
-            .msr
-            .set_refresh_interval(uniserver_platform::msr::DomainId(1), point.relaxed_refresh)
-            .expect("safe refresh within controller range");
+        point.apply_to(self.hypervisor.node_mut());
         self.current_point = point;
     }
 
@@ -354,6 +375,32 @@ mod tests {
         };
         assert_eq!(report.recharacterizations, 1);
         assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn provision_node_matches_full_deploy() {
+        // The cluster plumbing must choose the exact point a full
+        // per-node ecosystem deploy would have chosen.
+        let config = DeploymentConfig::quick();
+        let advisor = crate::training::train_advisor(&config);
+        let (node, point) = provision_node(&config, 77, &advisor);
+        let eco = Ecosystem::deploy(&config, 77);
+        assert_eq!(&point, eco.operating_point());
+        assert_eq!(node.chip().speed_factor, eco.hypervisor().node().chip().speed_factor);
+        // And the point is actually programmed into the MSRs.
+        assert!(node.msr.voltage_offset_mv(0) > 0.0);
+    }
+
+    #[test]
+    fn backed_off_point_is_shallower() {
+        let config = DeploymentConfig::quick();
+        let advisor = crate::training::train_advisor(&config);
+        let (_, point) = provision_node(&config, 77, &advisor);
+        let safe = point.backed_off(0.5);
+        assert!(safe.min_offset_mv() < point.min_offset_mv());
+        assert!(safe.relaxed_refresh < point.relaxed_refresh);
+        let nominal = point.backed_off(1.0);
+        assert!(nominal.core_offsets_mv.iter().all(|&mv| mv == 0.0));
     }
 
     #[test]

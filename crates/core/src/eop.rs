@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use uniserver_units::Seconds;
 
+use uniserver_platform::node::ServerNode;
 use uniserver_stresslog::MarginVector;
 
 /// Where the ecosystem is in its lifecycle.
@@ -15,6 +16,10 @@ pub enum EopPhase {
     /// Temporarily offline for re-characterization.
     Recharacterizing,
 }
+
+/// Nominal DRAM refresh interval in seconds (the JEDEC 64 ms baseline)
+/// — the conservative point every scaled-back refresh converges to.
+const NOMINAL_REFRESH_SECS: f64 = 0.064;
 
 /// One concrete V-F-R operating point for a node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,7 +38,7 @@ impl OperatingPoint {
     pub fn nominal(cores: usize) -> Self {
         OperatingPoint {
             core_offsets_mv: vec![0.0; cores],
-            relaxed_refresh: Seconds::from_millis(64.0),
+            relaxed_refresh: Seconds::new(NOMINAL_REFRESH_SECS),
             provenance: "nominal (conservative guard-bands)".into(),
         }
     }
@@ -51,9 +56,8 @@ impl OperatingPoint {
             (0.0..=1.0).contains(&aggressiveness),
             "aggressiveness must be in [0, 1], got {aggressiveness}"
         );
-        let nominal_refresh = 0.064;
-        let refresh = nominal_refresh
-            + (margins.safe_refresh.as_secs() - nominal_refresh).max(0.0) * aggressiveness;
+        let refresh = NOMINAL_REFRESH_SECS
+            + (margins.safe_refresh.as_secs() - NOMINAL_REFRESH_SECS).max(0.0) * aggressiveness;
         OperatingPoint {
             core_offsets_mv: margins
                 .per_core_safe_offset_mv
@@ -78,6 +82,52 @@ impl OperatingPoint {
     pub fn min_offset_mv(&self) -> f64 {
         assert!(!self.core_offsets_mv.is_empty(), "empty operating point");
         self.core_offsets_mv.iter().cloned().fold(f64::MAX, f64::min)
+    }
+
+    /// Programs the point into a node's MSRs: per-core undervolt offsets
+    /// (clamped to the MSR limit) and the relaxed-domain refresh. This is
+    /// the single write path for operating points — the per-node
+    /// [`crate::ecosystem::Ecosystem`] and the cluster orchestrator's
+    /// deploy-into-cluster plumbing both go through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's core count does not match the node.
+    pub fn apply_to(&self, node: &mut ServerNode) {
+        assert_eq!(
+            self.core_offsets_mv.len(),
+            node.core_count(),
+            "operating point does not match node topology"
+        );
+        for (core, &mv) in self.core_offsets_mv.iter().enumerate() {
+            node.msr
+                .set_voltage_offset(core, mv.min(250.0))
+                .expect("optimizer offsets are within MSR limits");
+        }
+        node.msr
+            .set_refresh_interval(uniserver_platform::msr::DomainId(1), self.relaxed_refresh)
+            .expect("safe refresh within controller range");
+    }
+
+    /// The point scaled back towards nominal by `fraction` (0.0 = this
+    /// point, 1.0 = nominal): the post-crash backoff a cluster manager
+    /// applies when a node's extended margins proved too aggressive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn backed_off(&self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "backoff fraction must be in [0, 1]");
+        let keep = 1.0 - fraction;
+        OperatingPoint {
+            core_offsets_mv: self.core_offsets_mv.iter().map(|mv| mv * keep).collect(),
+            relaxed_refresh: Seconds::new(
+                NOMINAL_REFRESH_SECS
+                    + (self.relaxed_refresh.as_secs() - NOMINAL_REFRESH_SECS).max(0.0) * keep,
+            ),
+            provenance: format!("{} (backed off {:.0} %)", self.provenance, fraction * 100.0),
+        }
     }
 }
 

@@ -33,7 +33,7 @@ pub mod optimizer;
 pub mod security;
 pub mod training;
 
-pub use ecosystem::{DeploymentConfig, Ecosystem, SavingsReport};
+pub use ecosystem::{provision_node, DeploymentConfig, Ecosystem, SavingsReport};
 pub use eop::{EopPhase, OperatingPoint};
 pub use optimizer::EopOptimizer;
 pub use training::{AdvisorCache, TrainedAdvisor};

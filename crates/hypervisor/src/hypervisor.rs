@@ -8,7 +8,7 @@ use uniserver_units::{Bytes, Joules, Seconds, Watts};
 
 use uniserver_healthlog::{ErrorLedger, HealthAction, HealthLog, LedgerKey, OriginStats, ThresholdPolicy};
 use uniserver_platform::mca::ErrorOrigin;
-use uniserver_platform::node::ServerNode;
+use uniserver_platform::node::{CrashEvent, ServerNode};
 use uniserver_platform::workload::WorkloadProfile;
 use uniserver_silicon::ErrorSeverity;
 use uniserver_stresslog::MarginVector;
@@ -56,6 +56,11 @@ pub struct TickOutcome {
     pub at: Seconds,
     /// The node crashed and was rebooted this tick.
     pub node_crashed: bool,
+    /// The platform's crash events for this tick, drained on recovery —
+    /// which core failed, at what voltage, under which workload. Empty
+    /// on clean ticks; cluster managers feed these to failure-driven
+    /// recovery.
+    pub crash_events: Vec<CrashEvent>,
     /// Corrected errors masked from guests this tick.
     pub masked_corrected: u64,
     /// Uncorrected errors contained by killing/restarting a VM.
@@ -233,19 +238,20 @@ impl Hypervisor {
         Ok(id)
     }
 
-    /// Stops a VM and releases its memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VM does not exist.
-    pub fn stop_vm(&mut self, id: VmId) {
-        let (guest, overhead) = {
-            let vm = self.vms.get(&id).expect("no such VM");
-            (vm.config.memory, self.per_vm_overhead(&vm.config))
+    /// Stops a VM, releases its memory and drops its record — a
+    /// long-running node's per-tick work stays proportional to its
+    /// *live* guests, not to every VM it ever hosted. Idempotent:
+    /// stopping an unknown (or already-stopped-and-dropped) id is a
+    /// no-op returning false, so double stops can never corrupt the
+    /// memory-domain accounting.
+    pub fn stop_vm(&mut self, id: VmId) -> bool {
+        let Some(vm) = self.vms.remove(&id) else {
+            return false;
         };
-        self.vms.get_mut(&id).expect("no such VM").state = VmState::Stopped;
-        self.memory.free(Placement::Relaxed, guest);
+        let overhead = self.per_vm_overhead(&vm.config);
+        self.memory.free(Placement::Relaxed, vm.config.memory);
         self.memory.free(Placement::Reliable, overhead);
+        true
     }
 
     /// A VM by id.
@@ -269,12 +275,9 @@ impl Hypervisor {
     /// Figure 3 and it lives entirely in the reliable domain.
     #[must_use]
     pub fn own_footprint(&self) -> Bytes {
-        let vm_overheads: Bytes = self
-            .vms
-            .values()
-            .filter(|vm| vm.state != VmState::Stopped)
-            .map(|vm| self.per_vm_overhead(&vm.config))
-            .sum();
+        // Stopped VMs are dropped from the map, so every record counts.
+        let vm_overheads: Bytes =
+            self.vms.values().map(|vm| self.per_vm_overhead(&vm.config)).sum();
         self.config.base_footprint
             + vm_overheads
             + self.inventory.total_size()
@@ -342,6 +345,7 @@ impl Hypervisor {
         let mut outcome = TickOutcome {
             at: report.at,
             node_crashed: false,
+            crash_events: Vec::new(),
             masked_corrected: 0,
             contained_uncorrected: 0,
             pages_retired: 0,
@@ -407,15 +411,14 @@ impl Hypervisor {
         // --- Crash recovery: reboot, restart every VM, charge downtime.
         if report.crash.is_some() {
             outcome.node_crashed = true;
+            outcome.crash_events = self.node.take_crash_events();
             self.crashes += 1;
             self.node.reboot();
             self.downtime = self.downtime + self.config.reboot_penalty;
             for vm in self.vms.values_mut() {
-                if vm.state != VmState::Stopped {
-                    vm.kill();
-                    vm.restart();
-                    outcome.vm_restarts += 1;
-                }
+                vm.kill();
+                vm.restart();
+                outcome.vm_restarts += 1;
             }
         } else {
             self.uptime = self.uptime + duration;
@@ -533,7 +536,10 @@ mod tests {
         let id = hv.launch_vm(VmConfig::ldbc_benchmark()).expect("fits");
         assert!(hv.vm(id).unwrap().is_running());
         assert_eq!(hv.memory_used_relaxed(), Bytes::gib(4));
-        hv.stop_vm(id);
+        assert!(hv.stop_vm(id));
+        assert_eq!(hv.memory_used_relaxed(), Bytes::ZERO);
+        // Idempotent: a second stop must not double-free the accounting.
+        assert!(!hv.stop_vm(id));
         assert_eq!(hv.memory_used_relaxed(), Bytes::ZERO);
     }
 
@@ -660,9 +666,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no such VM")]
-    fn stopping_unknown_vm_panics() {
+    fn stopping_unknown_vm_is_a_noop() {
         let mut hv = hypervisor();
-        hv.stop_vm(VmId(99));
+        assert!(!hv.stop_vm(VmId(99)));
+        assert_eq!(hv.memory_used_relaxed(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn stopped_vms_are_dropped_from_the_map() {
+        // High-churn cluster workloads stop thousands of VMs per node;
+        // per-tick cost must track live guests, not lifetime launches.
+        let mut hv = hypervisor();
+        for _ in 0..64 {
+            let id = hv.launch_vm(VmConfig::idle_guest()).expect("fits");
+            assert!(hv.stop_vm(id));
+        }
+        assert_eq!(hv.vms().count(), 0);
+        assert_eq!(hv.memory_used_relaxed(), Bytes::ZERO);
     }
 }

@@ -1,0 +1,127 @@
+//! Orchestrator scenario configuration.
+
+use serde::{Deserialize, Serialize};
+use uniserver_units::Seconds;
+
+use uniserver_cloudmgr::cluster::ClusterConfig;
+use uniserver_cloudmgr::stream::VmStream;
+use uniserver_core::ecosystem::DeploymentConfig;
+use uniserver_core::optimizer::EopOptimizer;
+use uniserver_hypervisor::vm::VmConfig;
+
+/// Which margins the fleet's nodes deploy at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarginPolicy {
+    /// Characterize every node and run it at its Extended Operating
+    /// Point — the paper's savings story, with its elevated crash risk.
+    Extended,
+    /// Conservative guard-bands: no characterization, stock settings.
+    /// The ablation baseline the extended fleet is compared against.
+    Nominal,
+}
+
+impl MarginPolicy {
+    /// Stable label used in summaries.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MarginPolicy::Extended => "extended",
+            MarginPolicy::Nominal => "nominal",
+        }
+    }
+}
+
+/// Everything one orchestrated cluster run needs.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Cluster shape: node count, part mix, scheduler, migration net.
+    pub cluster: ClusterConfig,
+    /// Scenario seed; node silicon, ambient spread and the arrival
+    /// stream all derive their sub-streams from it.
+    pub seed: u64,
+    /// Simulated serving span.
+    pub horizon: Seconds,
+    /// Simulation tick (arrival batches are drawn per tick).
+    pub tick: Seconds,
+    /// Deploy worker threads; 0 = one per available core. The serving
+    /// loop itself is sequential (placement is a global decision), so
+    /// thread count can never change a summary.
+    pub threads: usize,
+    /// The VM arrival process.
+    pub stream: VmStream,
+    /// Per-node deployment template (stress params, optimizer, base
+    /// ambient). The part is overridden per node from the cluster mix.
+    pub deployment: DeploymentConfig,
+    /// Half-width (°C) of the uniform per-node ambient spread.
+    pub ambient_spread: f64,
+    /// Margin policy for the whole fleet.
+    pub margins: MarginPolicy,
+    /// How far a node's operating point is scaled back towards nominal
+    /// after it crashes (0.0 = reapply unchanged, 1.0 = fall back to
+    /// nominal for good).
+    pub crash_backoff: f64,
+    /// Months of silicon aging applied after characterization — the
+    /// scenario models a rack partway into its re-characterization
+    /// window, where NBTI drift has eroded the margins the StressLog
+    /// measured at deploy time (§3.D). Zero = freshly characterized.
+    pub age_months: f64,
+}
+
+impl OrchestratorConfig {
+    /// The headline datacenter scenario: `nodes` mixed ARM+i5+i7
+    /// machines (6:1:1), a 3-arrivals-per-second LDBC stream (≥10⁴
+    /// arrivals over the hour-long horizon), 5 s ticks, ±6 °C ambient
+    /// spread, extended margins.
+    ///
+    /// The rack runs the **assertive** optimizer (full measured margin,
+    /// predictor-vetoed) and is modeled 18 months into its
+    /// re-characterization window, so aging drift has eaten into the
+    /// deploy-time margins — the point of cluster-in-the-loop is that
+    /// placement, eviction and migration absorb the residual crash risk
+    /// that per-node caution would otherwise buy back with energy.
+    #[must_use]
+    pub fn datacenter(nodes: usize, seed: u64) -> Self {
+        OrchestratorConfig {
+            cluster: ClusterConfig::uniserver_rack(nodes),
+            seed,
+            horizon: Seconds::new(3_600.0),
+            tick: Seconds::new(5.0),
+            threads: 0,
+            stream: VmStream::datacenter(),
+            deployment: DeploymentConfig {
+                guests: vec![VmConfig::ldbc_benchmark()],
+                optimizer: EopOptimizer::assertive(),
+                risk_tolerance: 0.05,
+                ..DeploymentConfig::quick()
+            },
+            ambient_spread: 6.0,
+            margins: MarginPolicy::Extended,
+            crash_backoff: 0.25,
+            age_months: 18.0,
+        }
+    }
+
+    /// A CI-sized smoke scenario: the same structure at `nodes` nodes
+    /// over a 5-minute horizon with a proportionally lighter stream.
+    #[must_use]
+    pub fn smoke(nodes: usize, seed: u64) -> Self {
+        OrchestratorConfig {
+            horizon: Seconds::new(300.0),
+            stream: VmStream { arrival_rate: 0.75, ..VmStream::datacenter() },
+            ..OrchestratorConfig::datacenter(nodes, seed)
+        }
+    }
+
+    /// Ticks the horizon divides into (the last, possibly partial, tick
+    /// is rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tick or horizon are non-positive.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        assert!(self.tick.as_secs() > 0.0, "tick must be positive");
+        assert!(self.horizon.as_secs() > 0.0, "horizon must be positive");
+        (self.horizon.as_secs() / self.tick.as_secs()).ceil() as u64
+    }
+}

@@ -1,0 +1,204 @@
+//! Parallel deploy-into-cluster: every node of the rack is manufactured
+//! from its own seed, characterized, moved to its Extended Operating
+//! Point (under [`MarginPolicy::Extended`]) and wrapped into a
+//! [`ManagedNode`] — reusing the once-per-part [`AdvisorCache`] so a
+//! 256+-node mixed rack deploys at the fleet driver's fast-path speed.
+//!
+//! Determinism is by construction: a node's silicon, part, ambient and
+//! operating point are pure functions of `(scenario seed, node index)`,
+//! results are re-sorted by node index after the join, and the advisor
+//! cache is pre-trained per part before workers spawn. Any worker count
+//! produces the identical cluster.
+
+use std::num::NonZeroUsize;
+use std::thread;
+use std::time::Instant;
+
+use uniserver_cloudmgr::cluster::Cluster;
+use uniserver_cloudmgr::node::{ManagedNode, NodeId};
+use uniserver_core::ecosystem::{provision_node, DeploymentConfig};
+use uniserver_core::eop::OperatingPoint;
+use uniserver_core::training::AdvisorCache;
+use uniserver_platform::node::ServerNode;
+use uniserver_silicon::rng::{ambient_offset, indexed_seed};
+use uniserver_units::Celsius;
+
+use crate::config::{MarginPolicy, OrchestratorConfig};
+
+/// What one node deployed as (the summary's per-node provenance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployedNode {
+    /// Node index within the rack.
+    pub node: usize,
+    /// Seed its silicon was manufactured from.
+    pub seed: u64,
+    /// Part name.
+    pub part: String,
+    /// Site ambient the node runs at.
+    pub ambient: Celsius,
+    /// The operating point programmed at deploy time.
+    pub point: OperatingPoint,
+}
+
+/// The per-node deployment configuration: the scenario template with
+/// part and ambient resolved from the node's seed.
+#[must_use]
+pub fn node_deployment(config: &OrchestratorConfig, node: usize) -> DeploymentConfig {
+    let seed = indexed_seed(config.seed, node);
+    let mut dep = config.deployment.clone();
+    dep.spec = config.cluster.node_spec(seed).clone();
+    if config.ambient_spread > 0.0 {
+        // The fleet driver's draw: a rack and a fleet built from one
+        // seed agree on every node's ambient.
+        dep.ambient = dep.ambient + Celsius::new(ambient_offset(seed, config.ambient_spread));
+    }
+    dep
+}
+
+fn deploy_one(config: &OrchestratorConfig, cache: &AdvisorCache, node: usize) -> (ManagedNode, DeployedNode) {
+    let seed = indexed_seed(config.seed, node);
+    let dep = node_deployment(config, node);
+    let (server, point) = match config.margins {
+        MarginPolicy::Extended => {
+            let advisor = cache.get_or_train(&dep).advisor;
+            provision_node(&dep, seed, &advisor)
+        }
+        MarginPolicy::Nominal => {
+            let mut server = ServerNode::new(dep.spec.clone(), seed);
+            server.set_ambient(dep.ambient);
+            (server, OperatingPoint::nominal(dep.spec.cores))
+        }
+    };
+    let mut server = server;
+    if config.age_months > 0.0 {
+        // The scenario models a rack partway into its
+        // re-characterization window: margins were measured on fresh
+        // silicon, then NBTI drift eroded them in service.
+        server.age_by_months(config.age_months);
+    }
+    let record = DeployedNode {
+        node,
+        seed,
+        part: dep.spec.name.clone(),
+        ambient: dep.ambient,
+        point,
+    };
+    #[allow(clippy::cast_possible_truncation)]
+    let managed = ManagedNode::adopt(NodeId(node as u32), server);
+    (managed, record)
+}
+
+/// Deploys the whole rack in parallel. Returns the assembled cluster,
+/// the per-node deploy records (ordered by node index), the summed
+/// per-node deploy wall-clock in seconds, and the worker count used.
+///
+/// # Panics
+///
+/// Panics if the cluster has zero nodes or a worker panics.
+#[must_use]
+pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode>, f64, usize) {
+    let nodes = config.cluster.nodes;
+    assert!(nodes > 0, "a cluster needs nodes");
+    let workers = if config.threads == 0 {
+        thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    } else {
+        config.threads
+    }
+    .min(nodes);
+
+    // Pre-train every part of the mix so workers only ever hit the cache.
+    let cache = AdvisorCache::new();
+    if config.margins == MarginPolicy::Extended {
+        for part in &config.cluster.part_mix {
+            let dep = DeploymentConfig { spec: part.spec.clone(), ..config.deployment.clone() };
+            let _ = cache.get_or_train(&dep);
+        }
+    }
+
+    let chunk = nodes.div_ceil(workers);
+    let (mut deployed, deploy_secs): (Vec<(ManagedNode, DeployedNode)>, f64) =
+        thread::scope(|scope| {
+            let cache = &cache;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (w * chunk).min(nodes);
+                    let hi = ((w + 1) * chunk).min(nodes);
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let out: Vec<_> =
+                            (lo..hi).map(|n| deploy_one(config, cache, n)).collect();
+                        (out, start.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(nodes);
+            let mut secs = 0.0;
+            for h in handles {
+                let (chunk_out, chunk_secs) = h.join().expect("deploy worker panicked");
+                all.extend(chunk_out);
+                secs += chunk_secs;
+            }
+            (all, secs)
+        });
+    deployed.sort_by_key(|(_, rec)| rec.node);
+
+    let mut managed = Vec::with_capacity(nodes);
+    let mut records = Vec::with_capacity(nodes);
+    for (m, r) in deployed {
+        managed.push(m);
+        records.push(r);
+    }
+    let cluster =
+        Cluster::from_nodes(managed, config.cluster.scheduler, config.cluster.migration);
+    (cluster, records, deploy_secs, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_is_worker_count_independent() {
+        let mut config = OrchestratorConfig::smoke(6, 11);
+        config.threads = 1;
+        let (_, seq, _, w1) = deploy_cluster(&config);
+        config.threads = 3;
+        let (_, par, _, w3) = deploy_cluster(&config);
+        assert_eq!(w1, 1);
+        assert_eq!(w3, 3);
+        assert_eq!(seq, par, "worker count must not perturb any node");
+    }
+
+    #[test]
+    fn extended_racks_run_undervolted_nominal_racks_do_not() {
+        let config = OrchestratorConfig::smoke(4, 7);
+        let (cluster, records, _, _) = deploy_cluster(&config);
+        for (node, rec) in cluster.nodes().iter().zip(&records) {
+            assert!(rec.point.min_offset_mv() > 0.0, "extended node must undervolt");
+            assert!(node.hypervisor.node().msr.voltage_offset_mv(0) > 0.0);
+            assert_eq!(node.hypervisor.node().part().name, rec.part);
+        }
+        let nominal = OrchestratorConfig {
+            margins: MarginPolicy::Nominal,
+            ..OrchestratorConfig::smoke(4, 7)
+        };
+        let (cluster, records, _, _) = deploy_cluster(&nominal);
+        for (node, rec) in cluster.nodes().iter().zip(&records) {
+            assert_eq!(rec.point.min_offset_mv(), 0.0);
+            assert_eq!(node.hypervisor.node().msr.voltage_offset_mv(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn ambient_spread_and_parts_vary_across_the_rack() {
+        let config = OrchestratorConfig::datacenter(48, 3);
+        let ambients: Vec<f64> =
+            (0..48).map(|n| node_deployment(&config, n).ambient.as_celsius()).collect();
+        let lo = ambients.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = ambients.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(hi - lo > 6.0, "±6 °C spread must show up ({lo}..{hi})");
+        let parts: std::collections::BTreeSet<String> =
+            (0..48).map(|n| node_deployment(&config, n).spec.name.clone()).collect();
+        assert!(parts.len() >= 2, "48 draws should mix parts: {parts:?}");
+    }
+}

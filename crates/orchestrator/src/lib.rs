@@ -1,0 +1,41 @@
+//! Cluster-in-the-loop orchestration: event-driven VM scheduling over a
+//! heterogeneous fleet of UniServer-deployed nodes.
+//!
+//! The paper's savings story is ultimately a datacenter story: nodes
+//! running past conservative guard-bands only pay off if a cluster
+//! manager can place, migrate and evict VMs around their elevated crash
+//! risk. This crate closes that loop:
+//!
+//! * [`config`] — scenario parameters ([`OrchestratorConfig`]) and the
+//!   extended-vs-nominal [`MarginPolicy`];
+//! * [`deploy`] — parallel deploy-into-cluster: per-node silicon
+//!   characterized to its Extended Operating Point, sharing one trained
+//!   advisor per part (`uniserver_core::training::AdvisorCache`);
+//! * [`events`] — the deterministic time-ordered [`EventQueue`];
+//! * [`orchestrator`] — the serving loop: seeded arrival batches,
+//!   energy/SLA-aware placement, crash-driven eviction/migration via
+//!   `uniserver_cloudmgr`;
+//! * [`summary`] — the deterministic [`ClusterSummary`] artefact plus
+//!   wall-clock [`OrchestratorTiming`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use uniserver_orchestrator::{run, OrchestratorConfig};
+//!
+//! let summary = run(&OrchestratorConfig::smoke(8, 42));
+//! assert!(summary.placed > 0);
+//! assert!(summary.energy_j > 0.0);
+//! ```
+
+pub mod config;
+pub mod deploy;
+pub mod events;
+pub mod orchestrator;
+pub mod summary;
+
+pub use config::{MarginPolicy, OrchestratorConfig};
+pub use deploy::{deploy_cluster, DeployedNode};
+pub use events::{Event, EventQueue};
+pub use orchestrator::{compare, run, run_timed};
+pub use summary::{ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics};

@@ -1,0 +1,317 @@
+//! The cluster-in-the-loop event loop.
+//!
+//! One run: deploy the rack (parallel, per-node EOPs), then walk the
+//! horizon tick by tick —
+//!
+//! 1. fire due events (departures, migration settlements) from the
+//!    deterministic [`EventQueue`];
+//! 2. draw this tick's VM arrival batch from its seeded sub-stream and
+//!    offer it to the energy/SLA-aware scheduler;
+//! 3. advance every node's hypervisor one tick;
+//! 4. for every crash the platform surfaced, run failure-driven
+//!    recovery (migrate what fits elsewhere, evict the rest) and
+//!    re-deploy the node at a backed-off operating point (firmware
+//!    cleared its undervolts on reboot).
+//!
+//! Every random draw derives from `(seed, node index)` or
+//! `(seed, tick index)`, and the serving loop is sequential, so a run's
+//! [`ClusterSummary`] is a pure function of its configuration —
+//! byte-stable for any deploy worker count.
+
+use std::time::Instant;
+
+use uniserver_cloudmgr::sla::SlaClass;
+use uniserver_units::Seconds;
+
+use crate::config::{MarginPolicy, OrchestratorConfig};
+use crate::deploy::deploy_cluster;
+use crate::events::{Event, EventQueue};
+use crate::summary::{
+    ClassStats, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+};
+
+fn class_idx(class: SlaClass) -> usize {
+    match class {
+        SlaClass::Gold => 0,
+        SlaClass::Silver => 1,
+        SlaClass::Bronze => 2,
+    }
+}
+
+/// Runs one orchestrated scenario.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero nodes, non-positive
+/// tick or horizon).
+#[must_use]
+pub fn run(config: &OrchestratorConfig) -> ClusterSummary {
+    run_timed(config).0
+}
+
+/// Runs one orchestrated scenario and reports wall-clock timings.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero nodes, non-positive
+/// tick or horizon).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTiming) {
+    let ticks = config.ticks();
+    let wall_start = Instant::now();
+    let (mut cluster, records, deploy_secs, workers) = deploy_cluster(config);
+    let mut points: Vec<_> = records.iter().map(|r| r.point.clone()).collect();
+
+    let serve_start = Instant::now();
+    let dt = config.tick;
+    let mut queue = EventQueue::new();
+    let mut per_class = [ClassStats::default(); 3];
+    let mut per_tick = Vec::with_capacity(ticks as usize);
+    let (mut offered, mut placed, mut rejected) = (0u64, 0u64, 0u64);
+    let (mut completed, mut evicted) = (0u64, 0u64);
+    let (mut crashes, mut crash_migrations, mut settled) = (0u64, 0u64, 0u64);
+    let mut sla_violations = 0u64;
+    let mut part_crashes = vec![0u64; config.cluster.part_mix.len()];
+    let mut energy_j = 0.0f64;
+
+    for tick in 0..ticks {
+        let now = Seconds::new(tick as f64 * dt.as_secs());
+        // The final tick of a non-dividing horizon is clamped so the
+        // run never simulates past `horizon` (the summary's
+        // `horizon_secs` must mean what it says).
+        let step = Seconds::new(dt.as_secs().min(config.horizon.as_secs() - now.as_secs()));
+        let mut t_offered = 0u64;
+        let mut t_placed = 0u64;
+        let mut t_completed = 0u64;
+        let mut t_migrations = 0u64;
+
+        // --- 1. Due events, earliest first.
+        while let Some((_, event)) = queue.pop_due(now) {
+            match event {
+                Event::Departure(id) => {
+                    // False = the placement was evicted earlier; the
+                    // eviction already accounted for it.
+                    if cluster.terminate_by_id(id) {
+                        completed += 1;
+                        t_completed += 1;
+                    }
+                }
+                Event::MigrationSettled(_) => settled += 1,
+            }
+        }
+
+        // --- 2. This tick's arrival batch, from its own sub-stream.
+        for arrival in config.stream.tick_arrivals(config.seed, tick, step) {
+            offered += 1;
+            t_offered += 1;
+            let c = class_idx(arrival.class);
+            per_class[c].offered += 1;
+            match cluster.submit(arrival.config, arrival.class) {
+                Some(placement) => {
+                    placed += 1;
+                    t_placed += 1;
+                    per_class[c].placed += 1;
+                    queue.schedule(now + arrival.lifetime, Event::Departure(placement.id));
+                }
+                None => {
+                    rejected += 1;
+                    per_class[c].rejected += 1;
+                }
+            }
+        }
+
+        // --- 3. Advance the fleet.
+        let report = cluster.tick(step);
+        energy_j += report.energy.as_joules();
+        t_migrations += report.proactive_migrations;
+        let tick_end = now + step;
+
+        // A proactive move whose relaunch failed lost the VM: that is
+        // an eviction whatever the class promised.
+        for lost in &report.evicted {
+            evicted += 1;
+            sla_violations += 1;
+            per_class[class_idx(lost.class)].violations += 1;
+        }
+
+        // --- 4. Failure-driven recovery for every surfaced crash.
+        for (node_id, _event) in &report.crashes {
+            crashes += 1;
+            let idx = node_id.0 as usize;
+            if let Some(p) = config
+                .cluster
+                .part_mix
+                .iter()
+                .position(|p| p.spec.name == records[idx].part)
+            {
+                part_crashes[p] += 1;
+            }
+            let recovery = cluster.recover_from_crash(*node_id);
+            for (moved, cost) in &recovery.migrated {
+                crash_migrations += 1;
+                t_migrations += 1;
+                queue.schedule(cost.completes_at(tick_end), Event::MigrationSettled(moved.id));
+                // Gold/Silver promise continuity; a crash-forced move
+                // interrupted them.
+                if moved.class != SlaClass::Bronze {
+                    sla_violations += 1;
+                    per_class[class_idx(moved.class)].violations += 1;
+                }
+            }
+            for lost in &recovery.evicted {
+                evicted += 1;
+                sla_violations += 1;
+                per_class[class_idx(lost.class)].violations += 1;
+            }
+            // Reboot firmware cleared the undervolts: re-deploy the
+            // node at a backed-off point instead of silently running
+            // nominal (or leave nominal racks alone).
+            if config.margins == MarginPolicy::Extended {
+                points[idx] = points[idx].backed_off(config.crash_backoff);
+                points[idx].apply_to(cluster.nodes_mut()[idx].hypervisor.node_mut());
+            }
+        }
+
+        per_tick.push(TickMetrics {
+            tick,
+            offered: t_offered,
+            placed: t_placed,
+            completed: t_completed,
+            live: cluster.placements().len() as u64,
+            crashes: report.crashes.len() as u64,
+            migrations: t_migrations,
+            energy_j: report.energy.as_joules(),
+        });
+    }
+
+    let fleet = cluster.fleet_metrics();
+    let mut min_availability = f64::MAX;
+    for node in cluster.nodes() {
+        min_availability = min_availability.min(node.metrics().availability);
+    }
+    let per_part: Vec<PartUsage> = config
+        .cluster
+        .part_mix
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let members: Vec<_> =
+                records.iter().filter(|r| r.part == part.spec.name).collect();
+            PartUsage {
+                part: part.spec.name.clone(),
+                nodes: members.len(),
+                crashes: part_crashes[p],
+                min_offset_mv_mean: if members.is_empty() {
+                    0.0
+                } else {
+                    members.iter().map(|r| r.point.min_offset_mv()).sum::<f64>()
+                        / members.len() as f64
+                },
+            }
+        })
+        .filter(|u| u.nodes > 0)
+        .collect();
+
+    let summary = ClusterSummary {
+        nodes: config.cluster.nodes,
+        seed: config.seed,
+        margins: config.margins.label().to_string(),
+        horizon_secs: config.horizon.as_secs(),
+        tick_secs: dt.as_secs(),
+        ticks,
+        offered,
+        placed,
+        rejected,
+        completed,
+        evicted,
+        live_at_end: cluster.placements().len() as u64,
+        crashes,
+        crash_migrations,
+        migrations_settled: settled,
+        proactive_migrations: fleet.migrations,
+        sla_violations,
+        migration_downtime_secs: fleet.migration_downtime.as_secs(),
+        energy_j,
+        mean_availability: fleet.mean_availability,
+        min_availability,
+        mean_utilization: fleet.mean_utilization,
+        min_offset_mv_mean: records.iter().map(|r| r.point.min_offset_mv()).sum::<f64>()
+            / records.len() as f64,
+        per_class,
+        per_part,
+        per_tick,
+    };
+    let timing = OrchestratorTiming {
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1e3,
+        deploy_ms: deploy_secs * 1e3,
+        serve_ms: serve_start.elapsed().as_secs_f64() * 1e3,
+        nodes: config.cluster.nodes,
+        arrivals: offered,
+        workers,
+    };
+    (summary, timing)
+}
+
+/// Runs the same scenario at extended and nominal margins off one seed —
+/// the paper's savings story at cluster level.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate.
+#[must_use]
+pub fn compare(config: &OrchestratorConfig) -> MarginComparison {
+    let extended =
+        run(&OrchestratorConfig { margins: MarginPolicy::Extended, ..config.clone() });
+    let nominal = run(&OrchestratorConfig { margins: MarginPolicy::Nominal, ..config.clone() });
+    MarginComparison { extended, nominal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_places_and_completes_vms() {
+        let summary = run(&OrchestratorConfig::smoke(8, 42));
+        assert_eq!(summary.ticks, 60);
+        assert!(summary.offered > 150, "0.75/s × 300 s ≈ 225 arrivals, got {}", summary.offered);
+        assert!(summary.placed > 0 && summary.placed <= summary.offered);
+        assert!(summary.completed > 0, "5-minute horizon must complete some 5-min-mean VMs");
+        assert_eq!(summary.placed - summary.completed - summary.evicted, summary.live_at_end);
+        assert!(summary.migrations_settled <= summary.crash_migrations);
+        assert!(summary.energy_j > 0.0);
+        assert_eq!(summary.per_tick.len(), 60);
+        let total_offered: u64 = summary.per_tick.iter().map(|t| t.offered).sum();
+        assert_eq!(total_offered, summary.offered, "time series must tie out");
+        let class_offered: u64 = summary.per_class.iter().map(|c| c.offered).sum();
+        assert_eq!(class_offered, summary.offered);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_any_worker_count() {
+        let mut config = OrchestratorConfig::smoke(6, 9);
+        config.threads = 1;
+        let a = run(&config);
+        config.threads = 4;
+        let b = run(&config);
+        assert_eq!(a, b, "worker count must never leak into the summary");
+        let c = run(&OrchestratorConfig { seed: 10, ..config });
+        assert_ne!(a, c, "a different seed must produce a different run");
+    }
+
+    #[test]
+    fn extended_fleet_saves_energy_over_nominal() {
+        let comparison = compare(&OrchestratorConfig::smoke(6, 2018));
+        assert!(
+            comparison.energy_saving_fraction() > 0.03,
+            "extended margins must save fleet energy, got {:.4}",
+            comparison.energy_saving_fraction()
+        );
+        assert_eq!(comparison.extended.margins, "extended");
+        assert_eq!(comparison.nominal.margins, "nominal");
+        assert_eq!(comparison.nominal.crashes, 0, "nominal guard-bands must not crash");
+        assert_eq!(comparison.nominal.min_offset_mv_mean, 0.0);
+        assert!(comparison.extended.min_offset_mv_mean > 20.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic run summaries: everything the JSON artefact reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-SLA-class accounting (indexed gold/silver/bronze).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Arrivals offered at this class.
+    pub offered: u64,
+    /// Arrivals placed.
+    pub placed: u64,
+    /// Arrivals rejected (no feasible node).
+    pub rejected: u64,
+    /// SLA violations charged to this class (evictions, and crash
+    /// interruptions for gold/silver).
+    pub violations: u64,
+}
+
+/// One tick's fleet metrics — the summary's time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickMetrics {
+    /// Tick index.
+    pub tick: u64,
+    /// Arrivals offered this tick.
+    pub offered: u64,
+    /// Arrivals placed this tick.
+    pub placed: u64,
+    /// Departures completed this tick.
+    pub completed: u64,
+    /// Live placements at end of tick.
+    pub live: u64,
+    /// Node crashes observed this tick.
+    pub crashes: u64,
+    /// Migrations (proactive + failure-driven) this tick.
+    pub migrations: u64,
+    /// Fleet energy consumed this tick, in joules.
+    pub energy_j: f64,
+}
+
+/// Per-part aggregation of the rack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartUsage {
+    /// Part name.
+    pub part: String,
+    /// Nodes of this part in the rack.
+    pub nodes: usize,
+    /// Crashes attributed to the part's nodes.
+    pub crashes: u64,
+    /// Mean deployed EOP depth (weakest-core offset) across its nodes.
+    pub min_offset_mv_mean: f64,
+}
+
+/// The deterministic summary of one orchestrated run. `PartialEq` is the
+/// determinism contract: two runs of the same config must compare equal
+/// whatever the deploy worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Margin policy label (`"extended"` / `"nominal"`).
+    pub margins: String,
+    /// Simulated horizon in seconds.
+    pub horizon_secs: f64,
+    /// Tick length in seconds.
+    pub tick_secs: f64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Arrivals offered to the scheduler.
+    pub offered: u64,
+    /// Arrivals placed.
+    pub placed: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+    /// Placements whose lifetime completed normally.
+    pub completed: u64,
+    /// Placements evicted after crashes (no healthy node fit them).
+    pub evicted: u64,
+    /// Placements still live when the horizon ended.
+    pub live_at_end: u64,
+    /// Node crashes observed.
+    pub crashes: u64,
+    /// Failure-driven migrations performed after crashes.
+    pub crash_migrations: u64,
+    /// Crash migrations whose pre-copy settled within the horizon (the
+    /// event queue's `MigrationSettled` events that fired).
+    pub migrations_settled: u64,
+    /// Proactive (prediction-driven) migrations performed.
+    pub proactive_migrations: u64,
+    /// Total SLA violations (all classes).
+    pub sla_violations: u64,
+    /// Cumulative migration blackout, in seconds.
+    pub migration_downtime_secs: f64,
+    /// Fleet energy over the run, in joules.
+    pub energy_j: f64,
+    /// Mean and minimum node availability at the end of the run.
+    pub mean_availability: f64,
+    pub min_availability: f64,
+    /// Mean node utilization at the end of the run.
+    pub mean_utilization: f64,
+    /// Mean deployed EOP depth across the rack, in millivolts.
+    pub min_offset_mv_mean: f64,
+    /// Per-class accounting, in gold/silver/bronze order.
+    pub per_class: [ClassStats; 3],
+    /// Per-part aggregation, in part-mix order.
+    pub per_part: Vec<PartUsage>,
+    /// The per-tick time series.
+    pub per_tick: Vec<TickMetrics>,
+}
+
+/// Wall-clock accounting of one run — machine-local, deliberately kept
+/// out of [`ClusterSummary`] so the deterministic artefact stays
+/// byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrchestratorTiming {
+    /// End-to-end wall-clock, in milliseconds.
+    pub wall_ms: f64,
+    /// Summed per-node deploy time, in milliseconds.
+    pub deploy_ms: f64,
+    /// Event-loop (serve) wall-clock, in milliseconds.
+    pub serve_ms: f64,
+    /// Nodes deployed.
+    pub nodes: usize,
+    /// VM arrivals driven.
+    pub arrivals: u64,
+    /// Deploy workers used.
+    pub workers: usize,
+}
+
+/// Nominal-vs-extended comparison off one seed: the first end-to-end
+/// number where per-node savings meet cluster-level placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginComparison {
+    /// The extended-margin run.
+    pub extended: ClusterSummary,
+    /// The conservative twin run.
+    pub nominal: ClusterSummary,
+}
+
+impl MarginComparison {
+    /// Fractional fleet energy saving of extended over nominal.
+    #[must_use]
+    pub fn energy_saving_fraction(&self) -> f64 {
+        if self.nominal.energy_j > 0.0 {
+            1.0 - self.extended.energy_j / self.nominal.energy_j
+        } else {
+            0.0
+        }
+    }
+
+    /// SLA violations the extended margins added over the baseline.
+    #[must_use]
+    pub fn added_sla_violations(&self) -> i64 {
+        self.extended.sla_violations as i64 - self.nominal.sla_violations as i64
+    }
+}

@@ -90,6 +90,11 @@ pub struct ServerNode {
     clock: Seconds,
     crashed: bool,
     reboots: u64,
+    /// Crash events since the last drain — the cluster orchestrator's
+    /// failure feed. Bounded: a crash halts the node until reboot, the
+    /// hypervisor drains the feed when it recovers the crash, and the
+    /// StressLog drains its own intentional characterization crashes.
+    pending_crashes: Vec<CrashEvent>,
     aging: AgingModel,
     age_months: f64,
     rng: StdRng,
@@ -113,11 +118,30 @@ impl ServerNode {
         Self::with_memory(spec, MemorySystem::commodity_server(true), seed)
     }
 
+    /// Quiet-workload crash margin (fraction of nominal voltage) a chip
+    /// must hold on its weakest core to ship. Dice below this would
+    /// crash at stock settings once workload stress and service aging
+    /// eat into the margin — manufacturers discard them with the
+    /// binning rejects (Figure 1's lost yield), so server fleets never
+    /// see them.
+    const SHIP_QUIET_MARGIN: f64 = 0.05;
+
     /// Manufactures a node with an explicit memory system.
     #[must_use]
     pub fn with_memory(spec: PartSpec, memory: MemorySystem, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let chip = spec.variation.sample_chip(seed, spec.cores, spec.cache_banks, &mut rng);
+        // Manufacturing screening: resample rejects (rare tail dice)
+        // from the same stream, so shippable first draws consume exactly
+        // the RNG they always did.
+        let mut chip = spec.variation.sample_chip(seed, spec.cores, spec.cache_banks, &mut rng);
+        for _ in 0..32 {
+            let margin = spec.vmin.base_crash_offset
+                - spec.vmin.core_gain * chip.worst_core_vmin_offset();
+            if margin >= Self::SHIP_QUIET_MARGIN {
+                break;
+            }
+            chip = spec.variation.sample_chip(seed, spec.cores, spec.cache_banks, &mut rng);
+        }
         let cores = (0..spec.cores)
             .map(|c| CoreState { weakness: chip.core_vmin_offset(c), isolated: false })
             .collect();
@@ -137,6 +161,7 @@ impl ServerNode {
             clock: Seconds::ZERO,
             crashed: false,
             reboots: 0,
+            pending_crashes: Vec::new(),
             aging: AgingModel::typical_nbti(),
             age_months: 0.0,
             rng,
@@ -195,6 +220,19 @@ impl ServerNode {
     #[must_use]
     pub fn reboots(&self) -> u64 {
         self.reboots
+    }
+
+    /// Crash events recorded since the last drain (read-only view).
+    #[must_use]
+    pub fn pending_crashes(&self) -> &[CrashEvent] {
+        &self.pending_crashes
+    }
+
+    /// Drains the crash events recorded since the last drain — how the
+    /// cluster orchestrator learns *which* core failed, at what voltage
+    /// and under which workload, rather than just "the node went down".
+    pub fn take_crash_events(&mut self) -> Vec<CrashEvent> {
+        std::mem::take(&mut self.pending_crashes)
     }
 
     /// Ages the silicon by `months` of deployment: NBTI-style drift
@@ -415,6 +453,7 @@ impl ServerNode {
                 origin: ErrorOrigin::Core(ev.core),
             });
             self.crashed = true;
+            self.pending_crashes.push(ev.clone());
         }
         for rec in &errors {
             self.mca.post(*rec);
@@ -497,6 +536,26 @@ mod tests {
         // And it runs again.
         let r = n.run_interval(&w, Seconds::from_millis(100.0));
         assert!(r.crash.is_none());
+    }
+
+    #[test]
+    fn crash_events_are_surfaced_and_drained() {
+        let mut n = node();
+        assert!(n.pending_crashes().is_empty());
+        n.msr.set_voltage_offset_all(n.part().offset_mv(0.22)).unwrap();
+        let w = WorkloadProfile::spec_zeusmp();
+        while n.run_interval(&w, Seconds::from_millis(100.0)).crash.is_none() {}
+        assert_eq!(n.pending_crashes().len(), 1, "one crash, one surfaced event");
+        let events = n.take_crash_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].workload.as_ref(), w.name.as_ref());
+        assert!(n.pending_crashes().is_empty(), "drain empties the feed");
+        // Reboot + clean running adds nothing.
+        n.reboot();
+        let r = n.run_interval(&w, Seconds::from_millis(100.0));
+        if r.crash.is_none() {
+            assert!(n.pending_crashes().is_empty());
+        }
     }
 
     #[test]
@@ -595,6 +654,22 @@ mod tests {
     #[should_panic(expected = "rejuvenate")]
     fn negative_aging_panics() {
         ServerNode::new(PartSpec::arm_microserver(), 1).age_by_months(-1.0);
+    }
+
+    #[test]
+    fn manufacturing_screens_out_doa_dice() {
+        // Over many manufactured nodes, no shipped chip's weakest core
+        // may sit inside the screened margin: such dice crash at stock
+        // settings and are binning rejects, not servers.
+        for seed in 0..512 {
+            let n = ServerNode::new(PartSpec::arm_microserver(), seed);
+            let margin = n.part().vmin.base_crash_offset
+                - n.part().vmin.core_gain * n.chip().worst_core_vmin_offset();
+            assert!(
+                margin >= ServerNode::SHIP_QUIET_MARGIN - 1e-12,
+                "seed {seed} shipped a reject (quiet margin {margin:.4})"
+            );
+        }
     }
 
     #[test]

@@ -113,6 +113,71 @@ pub fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives an independent seed for item `index` of a family keyed by
+/// `family_seed` — the SplitMix64-finalized derivation the fleet and
+/// cluster drivers use for per-node silicon, so shard boundaries and
+/// thread schedules can never shift a node's identity.
+#[must_use]
+pub fn indexed_seed(family_seed: u64, index: usize) -> u64 {
+    splitmix64(family_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Sub-stream salts for the per-node heterogeneity knobs. Each knob gets
+/// its own SplitMix64 sub-stream off the node seed, so adding a knob
+/// never shifts another knob's draw. These are the single workspace
+/// copies — the fleet driver, the cluster's part mix and the
+/// orchestrator's ambient spread all salt with the same constants, which
+/// is what keeps "a rack and a fleet built from one seed agree on every
+/// per-node draw" true across crates.
+pub mod salt {
+    /// Part draw from a weighted mix.
+    pub const PART: u64 = 0x9A97_1BD5_2C1E_0FF1;
+    /// Guest-set (workload mix) pick.
+    pub const MIX: u64 = 0x3C6E_F372_FE94_F82B;
+    /// Ambient-temperature spread.
+    pub const AMBIENT: u64 = 0x1F83_D9AB_FB41_BD6B;
+}
+
+/// Maps a 64-bit word onto `[0, 1)` using its top 53 bits — the single
+/// workspace copy of the mapping every seeded per-node knob (part draw,
+/// ambient spread) uses, so fleet and cluster drivers cannot drift.
+#[must_use]
+pub fn unit_fraction(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The per-node ambient-temperature offset (°C) for a node seed and a
+/// uniform spread half-width — the single workspace copy of the draw,
+/// so the fleet driver and the cluster orchestrator always hand the
+/// same node the same ambient.
+#[must_use]
+pub fn ambient_offset(node_seed: u64, half_width: f64) -> f64 {
+    (2.0 * unit_fraction(splitmix64(node_seed ^ salt::AMBIENT)) - 1.0) * half_width
+}
+
+/// Picks an index from `weights` proportionally to the weights, using a
+/// single 64-bit word of randomness (e.g. a [`splitmix64`] draw). A pure
+/// function of `(x, weights)`, so seeded fleet/cluster drivers can draw
+/// per-node parts without threading an RNG through.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or does not sum to a positive total.
+#[must_use]
+pub fn weighted_pick(x: u64, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_pick needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive total, got {total}");
+    let mut r = unit_fraction(x) * total;
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            return i;
+        }
+        r -= w;
+    }
+    weights.len() - 1
+}
+
 /// Samples `true` with probability `p` (clamped into `[0, 1]`).
 pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
     rng.gen::<f64>() < p.clamp(0.0, 1.0)
@@ -198,6 +263,25 @@ mod tests {
     fn poisson_zero_rate_is_zero() {
         let mut r = rng();
         assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_pick_tracks_weights() {
+        let weights = [6.0, 1.0, 1.0];
+        let mut counts = [0usize; 3];
+        for i in 0..8_000u64 {
+            counts[weighted_pick(splitmix64(i), &weights)] += 1;
+        }
+        assert!(counts[0] > counts[1] + counts[2], "6:1:1 must be dominated: {counts:?}");
+        assert!(counts[1] > 500 && counts[2] > 500, "minor shares must appear: {counts:?}");
+        // Pure function: the same word always picks the same index.
+        assert_eq!(weighted_pick(12345, &weights), weighted_pick(12345, &weights));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn weighted_pick_rejects_zero_total() {
+        let _ = weighted_pick(1, &[0.0, 0.0]);
     }
 
     #[test]

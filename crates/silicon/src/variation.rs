@@ -167,6 +167,20 @@ impl ChipProfile {
         self.vmin_shift + self.banks[bank].vmin_offset
     }
 
+    /// The weakest core's combined Vmin offset — what manufacturing
+    /// screening checks against the part's shippable margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip has no cores.
+    #[must_use]
+    pub fn worst_core_vmin_offset(&self) -> f64 {
+        assert!(!self.cores.is_empty(), "a chip profile needs cores");
+        (0..self.cores.len())
+            .map(|c| self.core_vmin_offset(c))
+            .fold(f64::MIN, f64::max)
+    }
+
     /// Spread between the strongest and weakest core's Vmin offset — the
     /// paper's "core-to-core variation" axis of Table 2.
     #[must_use]

@@ -249,6 +249,11 @@ impl StressLog {
                 vector.safe_refresh
             ));
         }
+        // The shmoo crashes the node on purpose, core by core, to find
+        // the ladder's crash points. Those are measurements, not service
+        // failures — drain them so the cluster's crash feed only ever
+        // reports production crashes.
+        let _ = node.take_crash_events();
         self.history.push(vector.clone());
         vector
     }
@@ -277,6 +282,20 @@ mod tests {
             assert!((25.0..200.0).contains(&mv), "core {core} safe offset {mv} mV");
         }
         assert!(margins.safe_refresh.as_secs() > 0.5, "safe refresh {}", margins.safe_refresh);
+    }
+
+    #[test]
+    fn characterization_crashes_do_not_reach_the_service_crash_feed() {
+        let (mut node, margins) = characterized();
+        assert!(
+            node.pending_crashes().is_empty(),
+            "shmoo crashes are measurements, not service failures"
+        );
+        // A real in-service crash afterwards still surfaces.
+        node.msr.set_voltage_offset_all(margins.node_safe_offset_mv() + 120.0).unwrap();
+        let w = WorkloadProfile::spec_zeusmp();
+        while node.run_interval(&w, Seconds::from_millis(100.0)).crash.is_none() {}
+        assert_eq!(node.pending_crashes().len(), 1);
     }
 
     #[test]
