@@ -31,10 +31,15 @@
 //!   guard-bands instead of Extended Operating Points — the ablation
 //!   baseline for energy/SLA comparisons.
 //! * `--bench PATH` appends one JSON timing line (label, nodes, threads,
-//!   wall/deploy/serve ms, deploy ms per node — cluster mode adds the
-//!   arrival count) to PATH: `BENCH_fleet.json` / `BENCH_cluster.json`.
-//!   Timings are machine-local wall-clock and deliberately *not* part of
-//!   the summary on stdout.
+//!   wall/deploy/serve ms, deploy + serve ms per node — cluster mode
+//!   adds the arrival count, margins, fleet energy and crash count) to
+//!   PATH: `BENCH_fleet.json` / `BENCH_cluster.json`. Timings are
+//!   machine-local wall-clock and deliberately *not* part of the
+//!   summary on stdout.
+//! * `--threads K` drives the deploy workers in both modes **and** the
+//!   cluster mode's sharded serving loop (`Cluster::tick_sharded`):
+//!   per-node advancement runs on K scoped workers, every reduce stays
+//!   sequential in node-index order.
 //!
 //! Both modes print byte-identical stdout for any `--threads` value —
 //! the determinism the paper's methodology demands of every experiment
@@ -43,7 +48,7 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use uniserver_bench::cluster::{summary_to_json, timing_to_json};
+use uniserver_bench::cluster::{bench_record, summary_to_json};
 use uniserver_bench::fleet::{simulate_timed, FleetConfig};
 use uniserver_orchestrator::{run_timed, MarginPolicy, OrchestratorConfig};
 use uniserver_stress::campaign::ShmooCampaign;
@@ -188,7 +193,7 @@ fn run_cluster(args: Args) -> ExitCode {
 
     if let Some(path) = args.bench {
         let label = args.label.unwrap_or_else(|| format!("cluster-{}", summary.margins));
-        return append_bench(&path, &timing_to_json(&timing, &label));
+        return append_bench(&path, &bench_record(&summary, &timing, &label));
     }
     ExitCode::SUCCESS
 }

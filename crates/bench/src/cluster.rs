@@ -75,11 +75,19 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
     w.finish()
 }
 
-/// Renders the timing record (the `BENCH_cluster.json` entry shape).
+/// The full `BENCH_cluster.json` record: the run's headline outcome
+/// (margins, fleet energy, crash count) plus the timing columns —
+/// `threads` is the worker count used for deploy *and* the sharded
+/// serving loop, `serve_ms_per_node` the serve wall-clock amortized
+/// over the rack. An extended-vs-nominal pair of records carries the
+/// savings story without re-parsing the stdout summary.
 #[must_use]
-pub fn timing_to_json(t: &OrchestratorTiming, label: &str) -> String {
+pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> String {
     let mut w = JsonWriter::object();
     w.field_str("label", label);
+    w.field_str("margins", &s.margins);
+    w.field_f64("energy_j", s.energy_j);
+    w.field_u64("crashes", s.crashes);
     w.field_u64("nodes", t.nodes as u64);
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
@@ -87,6 +95,7 @@ pub fn timing_to_json(t: &OrchestratorTiming, label: &str) -> String {
     w.field_f64("deploy_ms", t.deploy_ms);
     w.field_f64("serve_ms", t.serve_ms);
     w.field_f64("deploy_ms_per_node", t.deploy_ms / t.nodes.max(1) as f64);
+    w.field_f64("serve_ms_per_node", t.serve_ms / t.nodes.max(1) as f64);
     w.finish()
 }
 
@@ -109,13 +118,21 @@ mod tests {
     }
 
     #[test]
-    fn timing_record_has_the_bench_shape() {
+    fn bench_record_carries_the_headline_and_timing_shape() {
         let config = OrchestratorConfig::smoke(2, 5);
-        let (_, timing) = run_timed(&config);
-        let json = timing_to_json(&timing, "smoke");
-        for key in
-            ["\"label\":\"smoke\"", "\"nodes\":2", "\"arrivals\":", "\"wall_ms\":", "\"deploy_ms_per_node\":"]
-        {
+        let (summary, timing) = run_timed(&config);
+        let json = bench_record(&summary, &timing, "smoke");
+        for key in [
+            "\"label\":\"smoke\"",
+            "\"margins\":\"extended\"",
+            "\"energy_j\":",
+            "\"crashes\":",
+            "\"nodes\":2",
+            "\"arrivals\":",
+            "\"wall_ms\":",
+            "\"deploy_ms_per_node\":",
+            "\"serve_ms_per_node\":",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
     }

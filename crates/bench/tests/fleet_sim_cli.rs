@@ -50,13 +50,43 @@ fn help_exits_zero() {
 
 #[test]
 fn cluster_mode_is_byte_stable_across_thread_counts() {
+    // --threads drives the sharded serving loop as well as deploy, so
+    // this locks serve determinism too: odd worker counts exercise
+    // uneven node chunks, and more workers than nodes exercises the
+    // clamp.
     let base = &["--cluster", "--nodes", "8", "--secs", "60", "--seed", "7"];
     let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
-    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
     assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
-    assert!(four.status.success());
-    assert_eq!(one.stdout, four.stdout, "cluster summaries must be byte-identical");
+    for threads in ["3", "4", "64"] {
+        let n = fleet_sim(&[base, &["--threads", threads][..]].concat());
+        assert!(n.status.success());
+        assert_eq!(
+            one.stdout,
+            n.stdout,
+            "cluster summaries must be byte-identical at {threads} threads"
+        );
+    }
     let json = String::from_utf8_lossy(&one.stdout);
     assert!(json.contains("\"margins\":\"extended\""));
     assert!(json.contains("\"per_tick\":["));
+}
+
+#[test]
+fn cluster_bench_record_reports_serve_rate_and_headline() {
+    let dir = std::env::temp_dir().join(format!("fleet_sim_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bench = dir.join("bench.json");
+    let bench_path = bench.to_str().expect("utf-8 path");
+    let out = fleet_sim(&[
+        "--cluster", "--nodes", "4", "--secs", "30", "--threads", "2", "--no-per-tick",
+        "--bench", bench_path, "--label", "smoke",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let record = std::fs::read_to_string(&bench).expect("bench file written");
+    for key in
+        ["\"label\":\"smoke\"", "\"margins\":\"extended\"", "\"threads\":2", "\"energy_j\":", "\"serve_ms_per_node\":"]
+    {
+        assert!(record.contains(key), "missing {key} in {record}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

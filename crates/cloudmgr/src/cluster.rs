@@ -1,7 +1,20 @@
 //! The cluster driver: streams of VMs, reliability-aware placement and
 //! proactive migration off failing nodes.
+//!
+//! # Sharded ticks
+//!
+//! Per-tick node advancement (hypervisor tick + failure-predictor log
+//! scan) is embarrassingly parallel between placement decisions, so
+//! [`Cluster::tick_sharded`] splits it across scoped worker threads in
+//! contiguous node-index chunks and then **reduces sequentially in node
+//! order**: energy is summed index-by-index (bit-identical floats for
+//! any worker count), crash events are emitted ordered by
+//! `(node index, event order)`, and the predictor's score write-back —
+//! plus the placement-mutating phases (proactive migration, recovery) —
+//! stay sequential. Worker count can therefore never change a report.
 
 use std::collections::HashMap;
+use std::thread;
 
 use serde::{Deserialize, Serialize};
 use uniserver_units::{Joules, Seconds};
@@ -11,7 +24,7 @@ use uniserver_platform::node::CrashEvent;
 use uniserver_platform::part::PartSpec;
 use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
-use crate::failure::FailurePredictor;
+use crate::failure::{FailurePredictor, ScoreUpdate};
 use crate::migrate::MigrationModel;
 use crate::node::{ManagedNode, NodeId};
 use crate::scheduler::Scheduler;
@@ -156,6 +169,28 @@ pub struct CrashRecovery {
     pub downtime: Seconds,
 }
 
+/// What one node's share of a sharded tick produced — computed on a
+/// worker thread, reduced sequentially in node-index order.
+#[derive(Debug, Clone)]
+struct NodeAdvance {
+    /// Energy the node consumed this tick.
+    energy: Joules,
+    /// Crash events the platform surfaced this tick, in drain order.
+    crash_events: Vec<CrashEvent>,
+    /// The predictor's worker-side log-scan outcome, applied during the
+    /// sequential reduce.
+    score: ScoreUpdate,
+}
+
+/// One node through the parallel phase of a sharded tick: hypervisor
+/// tick plus the predictor's immutable log scan. Touches only the node
+/// itself and the (shared, read-only) predictor, so shards never race.
+fn advance_node(node: &mut ManagedNode, predictor: &FailurePredictor, duration: Seconds) -> NodeAdvance {
+    let outcome = node.tick(duration);
+    let score = predictor.observe(node.id.0, node.hypervisor.health());
+    NodeAdvance { energy: outcome.energy, crash_events: outcome.crash_events, score }
+}
+
 /// The cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -174,8 +209,10 @@ pub struct Cluster {
 
 impl Cluster {
     /// Provisions a cluster; node chips are manufactured from
-    /// `seed`, `seed+1`, … so every node is a *different* chip, with
-    /// parts drawn from the configured mix.
+    /// `seed`, `seed+1`, … (wrapping, so seeds near `u64::MAX` stay
+    /// valid — the same convention as `silicon::rng::indexed_seed`) so
+    /// every node is a *different* chip, with parts drawn from the
+    /// configured mix.
     ///
     /// # Panics
     ///
@@ -185,7 +222,7 @@ impl Cluster {
         assert!(config.nodes > 0, "a cluster needs nodes");
         let nodes = (0..config.nodes)
             .map(|i| {
-                let node_seed = seed + i as u64;
+                let node_seed = seed.wrapping_add(i as u64);
                 let spec = config.node_spec(node_seed).clone();
                 ManagedNode::provision(NodeId(i as u32), spec, node_seed)
             })
@@ -262,20 +299,34 @@ impl Cluster {
     /// workloads off nodes predicted to fail. The report surfaces crash
     /// events (drained from each node's platform feed) so event-driven
     /// callers can trigger failure-driven recovery.
+    ///
+    /// Equivalent to [`Cluster::tick_sharded`] with one worker.
     pub fn tick(&mut self, duration: Seconds) -> ClusterTickReport {
+        self.tick_sharded(duration, 1)
+    }
+
+    /// [`Cluster::tick`] with the per-node phase sharded across
+    /// `workers` scoped threads (clamped to `[1, nodes]`). Each worker
+    /// advances one contiguous node-index chunk — hypervisor tick plus
+    /// the predictor's immutable log scan — and the results are reduced
+    /// sequentially in node order, so **any worker count produces the
+    /// identical report**: energy sums in index order (bit-identical
+    /// floats), crash events order by `(node index, event order)`, and
+    /// the predictor write-back and placement-mutating phases run on
+    /// the caller's thread.
+    pub fn tick_sharded(&mut self, duration: Seconds, workers: usize) -> ClusterTickReport {
+        let advances = self.advance_nodes(duration, workers.clamp(1, self.nodes.len()));
+
+        // --- Sequential reduce, in node-index order.
         let mut crashes = Vec::new();
         let mut energy = Joules::ZERO;
-        for node in &mut self.nodes {
-            let outcome = node.tick(duration);
-            energy = energy + outcome.energy;
-            let id = node.id;
-            crashes.extend(outcome.crash_events.into_iter().map(|ev| (id, ev)));
+        let predictor = &mut self.predictor;
+        for (node, adv) in self.nodes.iter_mut().zip(advances) {
+            energy = energy + adv.energy;
+            crashes.extend(adv.crash_events.into_iter().map(|ev| (node.id, ev)));
+            node.reliability = predictor.apply(node.id.0, adv.score);
         }
-        for i in 0..self.nodes.len() {
-            let id = self.nodes[i].id.0;
-            let r = self.predictor.update_node(id, self.nodes[i].hypervisor.health());
-            self.nodes[i].reliability = r;
-        }
+
         // Nodes that crashed *this tick* are failure-recovery business,
         // not prediction business: leave their placements for
         // recover_from_crash so crash-interrupted VMs are classified
@@ -290,6 +341,39 @@ impl Cluster {
             proactive_migrations: self.migrations - before,
             evicted,
         }
+    }
+
+    /// The parallel phase of a sharded tick: every node's hypervisor
+    /// advances and its health log is scored, one contiguous chunk per
+    /// worker. Returns per-node advances **in node-index order** (chunks
+    /// are contiguous and joined in spawn order, so thread scheduling
+    /// cannot reorder them).
+    fn advance_nodes(&mut self, duration: Seconds, workers: usize) -> Vec<NodeAdvance> {
+        let predictor = &self.predictor;
+        if workers <= 1 {
+            return self.nodes.iter_mut().map(|n| advance_node(n, predictor, duration)).collect();
+        }
+        let n = self.nodes.len();
+        let chunk = n.div_ceil(workers);
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .chunks_mut(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .iter_mut()
+                            .map(|n| advance_node(n, predictor, duration))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(n);
+            for handle in handles {
+                all.extend(handle.join().expect("cluster tick worker panicked"));
+            }
+            all
+        })
     }
 
     /// Failure-driven recovery after a node crash: every tracked
@@ -679,6 +763,71 @@ mod tests {
         let m = cluster.fleet_metrics();
         assert_eq!(m.crash_migrations, recovery.migrated.len() as u64);
         assert_eq!(m.evictions, recovery.evicted.len() as u64);
+    }
+
+    #[test]
+    fn sharded_tick_matches_sequential_on_a_degraded_rack() {
+        let build = || {
+            let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(6), 100);
+            for i in 0..6 {
+                let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+                cluster.submit(VmConfig::idle_guest(), class);
+            }
+            // Degrade two nodes: node 0 deep into its crash region,
+            // node 1's relaxed DRAM into CE noise, so the comparison
+            // covers crash events, predictor re-scores and migrations.
+            let deep = cluster.nodes()[0].hypervisor.node().part().offset_mv(0.20);
+            cluster.nodes_mut()[0].hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+            cluster.nodes_mut()[1]
+                .hypervisor
+                .node_mut()
+                .msr
+                .set_refresh_interval(DomainId(1), Seconds::new(10.0))
+                .unwrap();
+            cluster
+        };
+        let mut seq = build();
+        let mut par = build();
+        let mut saw_crash = false;
+        for _ in 0..60 {
+            let a = seq.tick(Seconds::new(1.0));
+            let b = par.tick_sharded(Seconds::new(1.0), 4);
+            assert_eq!(a, b, "worker count must never change a tick report");
+            saw_crash |= !a.crashes.is_empty();
+        }
+        assert!(saw_crash, "a 20 % undervolt must crash within 60 ticks");
+        assert_eq!(seq.fleet_metrics(), par.fleet_metrics());
+        assert_eq!(seq.placements(), par.placements());
+        for (a, b) in seq.nodes().iter().zip(par.nodes()) {
+            assert_eq!(a.reliability, b.reliability);
+            assert_eq!(a.metrics(), b.metrics());
+        }
+    }
+
+    #[test]
+    fn sharded_tick_clamps_workers_to_node_count() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+        cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze);
+        // More workers than nodes (and zero workers) both behave.
+        let a = cluster.tick_sharded(Seconds::new(1.0), 64);
+        assert!(a.crashes.is_empty());
+        let b = cluster.tick_sharded(Seconds::new(1.0), 0);
+        assert!(b.crashes.is_empty());
+        assert!(cluster.fleet_metrics().total_energy.as_joules() > 0.0);
+    }
+
+    #[test]
+    fn build_accepts_seeds_near_u64_max() {
+        // `seed + i` used to panic on overflow in debug builds; the
+        // wrapping derivation matches silicon::rng::indexed_seed.
+        let cluster = Cluster::build(&ClusterConfig::small_edge_site(3), u64::MAX);
+        assert_eq!(cluster.nodes().len(), 3);
+        let again = Cluster::build(&ClusterConfig::small_edge_site(3), u64::MAX);
+        assert_eq!(
+            cluster.nodes()[2].hypervisor.node().chip().speed_factor,
+            again.nodes()[2].hypervisor.node().chip().speed_factor,
+            "wrapped seeds stay deterministic"
+        );
     }
 
     #[test]

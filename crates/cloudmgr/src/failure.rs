@@ -51,6 +51,24 @@ impl PatternWeights {
     }
 }
 
+/// What one predictor update should do to a node's rolling score — the
+/// outcome of the immutable [`FailurePredictor::observe`] phase, folded
+/// back in by [`FailurePredictor::apply`]. Splitting the two lets the
+/// sharded cluster loop score logs on worker threads while keeping the
+/// state write-back sequential (and therefore deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScoreUpdate {
+    /// The log did not grow: decay the rolling score one step.
+    Decay,
+    /// The log grew: replace the rolling score with a fresh window scan.
+    Rescore {
+        /// Log length consumed by the scan.
+        consumed: usize,
+        /// The fresh window score.
+        score: f64,
+    },
+}
+
 /// The failure predictor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailurePredictor {
@@ -105,19 +123,57 @@ impl FailurePredictor {
     /// by [`FailurePredictor::silent_decay`] per update, so past error
     /// evidence ages out and the node's reliability recovers towards
     /// 1.0.
+    ///
+    /// Equivalent to [`FailurePredictor::observe`] followed by
+    /// [`FailurePredictor::apply`] — the sharded cluster loop uses the
+    /// split form so the log scan runs on worker threads while the
+    /// write-back stays sequential.
     pub fn update_node(&mut self, node_id: u32, health: &HealthLog) -> f64 {
+        let update = self.observe(node_id, health);
+        self.apply(node_id, update)
+    }
+
+    /// The read-only half of [`FailurePredictor::update_node`]: scans
+    /// the node's log (only when it grew since the last apply) and
+    /// returns what the write-back should do. Immutable, so the cluster
+    /// loop's workers can score whole node shards in parallel; the
+    /// resulting updates are applied sequentially in node-index order.
+    #[must_use]
+    pub fn observe(&self, node_id: u32, health: &HealthLog) -> ScoreUpdate {
         let len = health.logfile().len();
-        let score = match (self.consumed.get(&node_id), self.scores.get_mut(&node_id)) {
-            (Some(&seen), Some(score)) if seen == len => {
-                *score *= self.silent_decay;
-                *score
-            }
+        match (self.consumed.get(&node_id), self.scores.get(&node_id)) {
+            (Some(&seen), Some(_)) if seen == len => ScoreUpdate::Decay,
             _ => {
                 let lines = health.logfile();
                 let start = lines.len().saturating_sub(self.window_lines);
                 let score: f64 =
                     lines[start..].iter().map(|l| self.patterns.score_line(l)).sum();
-                self.consumed.insert(node_id, len);
+                ScoreUpdate::Rescore { consumed: len, score }
+            }
+        }
+    }
+
+    /// The write-back half of [`FailurePredictor::update_node`]: folds a
+    /// worker-computed [`ScoreUpdate`] into the rolling per-node state
+    /// and returns the node's reliability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ScoreUpdate::Decay`] arrives for a node this
+    /// predictor has never scored (decays are only ever observed for
+    /// tracked nodes).
+    pub fn apply(&mut self, node_id: u32, update: ScoreUpdate) -> f64 {
+        let score = match update {
+            ScoreUpdate::Decay => {
+                let score = self
+                    .scores
+                    .get_mut(&node_id)
+                    .expect("Decay is only observed for already-tracked nodes");
+                *score *= self.silent_decay;
+                *score
+            }
+            ScoreUpdate::Rescore { consumed, score } => {
+                self.consumed.insert(node_id, consumed);
                 self.scores.insert(node_id, score);
                 score
             }
@@ -221,6 +277,35 @@ mod tests {
         }
         // Recovery is gradual, not instant: quarantine lasts a while.
         assert!(updates > 10, "rehabilitation must take time, took {updates} updates");
+    }
+
+    #[test]
+    fn observe_then_apply_equals_update_node() {
+        // The sharded loop's split form must be indistinguishable from
+        // the fused update, tick for tick.
+        let mut fused = FailurePredictor::new();
+        let mut split = FailurePredictor::new();
+        let mut h = log_with(&["t=1 err[CE@l3bank0]"]);
+        for round in 0..6 {
+            if round == 3 {
+                h.log_note("t=3 dur=1 crashed=true err[FATAL@core0]");
+            }
+            let a = fused.update_node(4, &h);
+            let update = split.observe(4, &h);
+            let b = split.apply(4, update);
+            assert_eq!(a, b, "round {round} diverged");
+        }
+        assert_eq!(fused, split, "internal rolling state must match too");
+    }
+
+    #[test]
+    fn observe_is_pure() {
+        let p = FailurePredictor::new();
+        let h = log_with(&["t=1 err[UE@dimm2@word0x10]"]);
+        let a = p.observe(9, &h);
+        let b = p.observe(9, &h);
+        assert_eq!(a, b, "observe must not mutate predictor state");
+        assert!(matches!(a, ScoreUpdate::Rescore { consumed: 1, .. }));
     }
 
     #[test]

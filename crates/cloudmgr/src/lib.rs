@@ -44,7 +44,7 @@ pub mod stream;
 pub use cluster::{
     Cluster, ClusterConfig, ClusterTickReport, CrashRecovery, PartWeight, Placement, PlacementId,
 };
-pub use failure::FailurePredictor;
+pub use failure::{FailurePredictor, ScoreUpdate};
 pub use migrate::{MigrationCost, MigrationModel};
 pub use node::{ManagedNode, NodeId, NodeMetrics};
 pub use scheduler::{Scheduler, SchedulerWeights};

@@ -66,9 +66,8 @@ impl Scheduler {
         let m = node.metrics();
         node.fits(config)
             && !node.hypervisor.node().is_crashed()
-            && m.availability >= class.min_availability().min(m.availability.max(0.0)).min(1.0)
-            // Availability gating uses the class requirement directly once
-            // the node has history; fresh nodes (availability 1.0) pass.
+            // Availability gating uses the class requirement directly;
+            // fresh nodes (availability 1.0) pass every floor.
             && m.availability >= class.min_availability() - 1e-12
             && m.reliability >= class.min_reliability()
     }
@@ -160,6 +159,40 @@ mod tests {
         let w0 = blind.weigh(&ns[0]);
         let w1 = blind.weigh(&ns[1]);
         assert!((w0 - w1).abs() < 1e-12, "blind weights must tie: {w0} vs {w1}");
+    }
+
+    #[test]
+    fn nodes_below_the_class_availability_floor_are_filtered() {
+        use uniserver_units::Seconds;
+
+        let mut ns = nodes(1);
+        // Crash the node once: the 120 s reboot penalty against a few
+        // seconds of uptime sinks availability below every class floor.
+        let deep = ns[0].hypervisor.node().part().offset_mv(0.20);
+        ns[0].hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+        ns[0].launch(uniserver_hypervisor::vm::VmConfig::ldbc_benchmark()).unwrap();
+        let mut crashed = false;
+        for _ in 0..120 {
+            if ns[0].tick(Seconds::new(1.0)).node_crashed {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "a 20 % undervolt must crash within 120 ticks");
+        // Isolate the availability gate: reliability stays pristine.
+        ns[0].reliability = 1.0;
+        let m = ns[0].metrics();
+        assert!(
+            m.availability < SlaClass::Bronze.min_availability(),
+            "reboot penalty must sink availability below the lowest floor: {}",
+            m.availability
+        );
+        let s = Scheduler::default();
+        let cfg = uniserver_hypervisor::vm::VmConfig::idle_guest();
+        for class in [SlaClass::Gold, SlaClass::Silver, SlaClass::Bronze] {
+            assert!(!s.filter(&ns[0], &cfg, class), "{class} must reject the node");
+        }
+        assert!(s.place(ns.iter(), &cfg, SlaClass::Bronze).is_none());
     }
 
     #[test]

@@ -43,9 +43,10 @@ pub struct OrchestratorConfig {
     pub horizon: Seconds,
     /// Simulation tick (arrival batches are drawn per tick).
     pub tick: Seconds,
-    /// Deploy worker threads; 0 = one per available core. The serving
-    /// loop itself is sequential (placement is a global decision), so
-    /// thread count can never change a summary.
+    /// Worker threads for deploy **and** the serving loop's sharded
+    /// per-node phase; 0 = one per available core. Placement decisions
+    /// and all reduces stay sequential in node-index order, so thread
+    /// count can never change a summary.
     pub threads: usize,
     /// The VM arrival process.
     pub stream: VmStream,

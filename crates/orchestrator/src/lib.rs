@@ -14,7 +14,9 @@
 //! * [`events`] — the deterministic time-ordered [`EventQueue`];
 //! * [`orchestrator`] — the serving loop: seeded arrival batches,
 //!   energy/SLA-aware placement, crash-driven eviction/migration via
-//!   `uniserver_cloudmgr`;
+//!   `uniserver_cloudmgr`, with the per-node phase sharded across
+//!   worker threads (`Cluster::tick_sharded`) under a deterministic
+//!   sequential reduce;
 //! * [`summary`] — the deterministic [`ClusterSummary`] artefact plus
 //!   wall-clock [`OrchestratorTiming`].
 //!
@@ -32,6 +34,7 @@ pub mod config;
 pub mod deploy;
 pub mod events;
 pub mod orchestrator;
+mod serve;
 pub mod summary;
 
 pub use config::{MarginPolicy, OrchestratorConfig};

@@ -7,36 +7,38 @@
 //!    deterministic [`EventQueue`];
 //! 2. draw this tick's VM arrival batch from its seeded sub-stream and
 //!    offer it to the energy/SLA-aware scheduler;
-//! 3. advance every node's hypervisor one tick;
-//! 4. for every crash the platform surfaced, run failure-driven
-//!    recovery (migrate what fits elsewhere, evict the rest) and
-//!    re-deploy the node at a backed-off operating point (firmware
-//!    cleared its undervolts on reboot).
+//! 3. advance every node's hypervisor one tick — **sharded across the
+//!    run's worker threads** (`Cluster::tick_sharded`), with energy,
+//!    crash events and predictor scores reduced sequentially in
+//!    node-index order;
+//! 4. for every crashed node (deduplicated: several same-tick crash
+//!    events still recover once), run failure-driven recovery (migrate
+//!    what fits elsewhere, evict the rest) and re-deploy the node at a
+//!    backed-off operating point (firmware cleared its undervolts on
+//!    reboot).
+//!
+//! After the loop, events due in the final `(last tick start, horizon]`
+//! window are drained so end-of-horizon departures and settlements are
+//! not dropped from `completed` / `migrations_settled`.
 //!
 //! Every random draw derives from `(seed, node index)` or
-//! `(seed, tick index)`, and the serving loop is sequential, so a run's
+//! `(seed, tick index)`, parallel per-node work reduces in node-index
+//! order, and every placement-mutating phase is sequential, so a run's
 //! [`ClusterSummary`] is a pure function of its configuration —
-//! byte-stable for any deploy worker count.
+//! byte-stable for any worker count (`threads` drives deploy *and*
+//! serve).
 
 use std::time::Instant;
 
-use uniserver_cloudmgr::sla::SlaClass;
 use uniserver_units::Seconds;
 
 use crate::config::{MarginPolicy, OrchestratorConfig};
 use crate::deploy::deploy_cluster;
 use crate::events::{Event, EventQueue};
+use crate::serve::{class_idx, ServeCounters};
 use crate::summary::{
-    ClassStats, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+    ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
 };
-
-fn class_idx(class: SlaClass) -> usize {
-    match class {
-        SlaClass::Gold => 0,
-        SlaClass::Silver => 1,
-        SlaClass::Bronze => 2,
-    }
-}
 
 /// Runs one orchestrated scenario.
 ///
@@ -56,24 +58,22 @@ pub fn run(config: &OrchestratorConfig) -> ClusterSummary {
 /// Panics if the configuration is degenerate (zero nodes, non-positive
 /// tick or horizon).
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTiming) {
     let ticks = config.ticks();
     let wall_start = Instant::now();
     let (mut cluster, records, deploy_secs, workers) = deploy_cluster(config);
     let mut points: Vec<_> = records.iter().map(|r| r.point.clone()).collect();
+    // Part-mix index per node, resolved once for crash attribution.
+    let node_parts: Vec<Option<usize>> = records
+        .iter()
+        .map(|r| config.cluster.part_mix.iter().position(|p| p.spec.name == r.part))
+        .collect();
 
     let serve_start = Instant::now();
     let dt = config.tick;
     let mut queue = EventQueue::new();
-    let mut per_class = [ClassStats::default(); 3];
     let mut per_tick = Vec::with_capacity(ticks as usize);
-    let (mut offered, mut placed, mut rejected) = (0u64, 0u64, 0u64);
-    let (mut completed, mut evicted) = (0u64, 0u64);
-    let (mut crashes, mut crash_migrations, mut settled) = (0u64, 0u64, 0u64);
-    let mut sla_violations = 0u64;
-    let mut part_crashes = vec![0u64; config.cluster.part_mix.len()];
-    let mut energy_j = 0.0f64;
+    let mut c = ServeCounters::new(config.cluster.part_mix.len());
 
     for tick in 0..ticks {
         let now = Seconds::new(tick as f64 * dt.as_secs());
@@ -83,95 +83,53 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         let step = Seconds::new(dt.as_secs().min(config.horizon.as_secs() - now.as_secs()));
         let mut t_offered = 0u64;
         let mut t_placed = 0u64;
-        let mut t_completed = 0u64;
-        let mut t_migrations = 0u64;
 
         // --- 1. Due events, earliest first.
-        while let Some((_, event)) = queue.pop_due(now) {
-            match event {
-                Event::Departure(id) => {
-                    // False = the placement was evicted earlier; the
-                    // eviction already accounted for it.
-                    if cluster.terminate_by_id(id) {
-                        completed += 1;
-                        t_completed += 1;
-                    }
-                }
-                Event::MigrationSettled(_) => settled += 1,
-            }
-        }
+        let t_completed = c.drain_due(&mut queue, &mut cluster, now);
 
         // --- 2. This tick's arrival batch, from its own sub-stream.
         for arrival in config.stream.tick_arrivals(config.seed, tick, step) {
-            offered += 1;
+            c.offered += 1;
             t_offered += 1;
-            let c = class_idx(arrival.class);
-            per_class[c].offered += 1;
+            let class = class_idx(arrival.class);
+            c.per_class[class].offered += 1;
             match cluster.submit(arrival.config, arrival.class) {
                 Some(placement) => {
-                    placed += 1;
+                    c.placed += 1;
                     t_placed += 1;
-                    per_class[c].placed += 1;
+                    c.per_class[class].placed += 1;
                     queue.schedule(now + arrival.lifetime, Event::Departure(placement.id));
                 }
                 None => {
-                    rejected += 1;
-                    per_class[c].rejected += 1;
+                    c.rejected += 1;
+                    c.per_class[class].rejected += 1;
                 }
             }
         }
 
-        // --- 3. Advance the fleet.
-        let report = cluster.tick(step);
-        energy_j += report.energy.as_joules();
-        t_migrations += report.proactive_migrations;
+        // --- 3. Advance the fleet, sharded across the run's workers.
+        let report = cluster.tick_sharded(step, workers);
+        c.energy_j += report.energy.as_joules();
+        let mut t_migrations = report.proactive_migrations;
         let tick_end = now + step;
 
         // A proactive move whose relaunch failed lost the VM: that is
         // an eviction whatever the class promised.
         for lost in &report.evicted {
-            evicted += 1;
-            sla_violations += 1;
-            per_class[class_idx(lost.class)].violations += 1;
+            c.charge_eviction(lost);
         }
 
-        // --- 4. Failure-driven recovery for every surfaced crash.
-        for (node_id, _event) in &report.crashes {
-            crashes += 1;
-            let idx = node_id.0 as usize;
-            if let Some(p) = config
-                .cluster
-                .part_mix
-                .iter()
-                .position(|p| p.spec.name == records[idx].part)
-            {
-                part_crashes[p] += 1;
-            }
-            let recovery = cluster.recover_from_crash(*node_id);
-            for (moved, cost) in &recovery.migrated {
-                crash_migrations += 1;
-                t_migrations += 1;
-                queue.schedule(cost.completes_at(tick_end), Event::MigrationSettled(moved.id));
-                // Gold/Silver promise continuity; a crash-forced move
-                // interrupted them.
-                if moved.class != SlaClass::Bronze {
-                    sla_violations += 1;
-                    per_class[class_idx(moved.class)].violations += 1;
-                }
-            }
-            for lost in &recovery.evicted {
-                evicted += 1;
-                sla_violations += 1;
-                per_class[class_idx(lost.class)].violations += 1;
-            }
-            // Reboot firmware cleared the undervolts: re-deploy the
-            // node at a backed-off point instead of silently running
-            // nominal (or leave nominal racks alone).
-            if config.margins == MarginPolicy::Extended {
-                points[idx] = points[idx].backed_off(config.crash_backoff);
-                points[idx].apply_to(cluster.nodes_mut()[idx].hypervisor.node_mut());
-            }
-        }
+        // --- 4. Failure-driven recovery, once per crashed node.
+        t_migrations += c.recover_crashes(
+            &mut cluster,
+            &mut queue,
+            &mut points,
+            &node_parts,
+            &report.crashes,
+            tick_end,
+            config.margins,
+            config.crash_backoff,
+        );
 
         per_tick.push(TickMetrics {
             tick,
@@ -184,6 +142,17 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             energy_j: report.energy.as_joules(),
         });
     }
+
+    // --- End-of-horizon drain: departures and settlements due in the
+    // final `(last tick start, horizon]` window must still fire, or
+    // `completed` / `migrations_settled` undercount what the horizon
+    // actually served. (These fall outside the per-tick series.)
+    c.drain_due(&mut queue, &mut cluster, Seconds::new(config.horizon.as_secs()));
+    debug_assert_eq!(
+        c.placed,
+        c.completed + c.evicted + cluster.placements().len() as u64,
+        "lifecycle accounting must tie out"
+    );
 
     let fleet = cluster.fleet_metrics();
     let mut min_availability = f64::MAX;
@@ -201,7 +170,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             PartUsage {
                 part: part.spec.name.clone(),
                 nodes: members.len(),
-                crashes: part_crashes[p],
+                crashes: c.part_crashes[p],
                 min_offset_mv_mean: if members.is_empty() {
                     0.0
                 } else {
@@ -220,25 +189,25 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         horizon_secs: config.horizon.as_secs(),
         tick_secs: dt.as_secs(),
         ticks,
-        offered,
-        placed,
-        rejected,
-        completed,
-        evicted,
+        offered: c.offered,
+        placed: c.placed,
+        rejected: c.rejected,
+        completed: c.completed,
+        evicted: c.evicted,
         live_at_end: cluster.placements().len() as u64,
-        crashes,
-        crash_migrations,
-        migrations_settled: settled,
+        crashes: c.crashes,
+        crash_migrations: c.crash_migrations,
+        migrations_settled: c.settled,
         proactive_migrations: fleet.migrations,
-        sla_violations,
+        sla_violations: c.sla_violations,
         migration_downtime_secs: fleet.migration_downtime.as_secs(),
-        energy_j,
+        energy_j: c.energy_j,
         mean_availability: fleet.mean_availability,
         min_availability,
         mean_utilization: fleet.mean_utilization,
         min_offset_mv_mean: records.iter().map(|r| r.point.min_offset_mv()).sum::<f64>()
             / records.len() as f64,
-        per_class,
+        per_class: c.per_class,
         per_part,
         per_tick,
     };
@@ -247,7 +216,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         deploy_ms: deploy_secs * 1e3,
         serve_ms: serve_start.elapsed().as_secs_f64() * 1e3,
         nodes: config.cluster.nodes,
-        arrivals: offered,
+        arrivals: c.offered,
         workers,
     };
     (summary, timing)
@@ -286,6 +255,15 @@ mod tests {
         assert_eq!(total_offered, summary.offered, "time series must tie out");
         let class_offered: u64 = summary.per_class.iter().map(|c| c.offered).sum();
         assert_eq!(class_offered, summary.offered);
+        // The end-of-horizon drain completes departures due in the
+        // final (last tick start, horizon] window — completions the
+        // per-tick series (which fires at tick *starts*) cannot see.
+        let ticked_completed: u64 = summary.per_tick.iter().map(|t| t.completed).sum();
+        assert!(
+            ticked_completed < summary.completed,
+            "the final-window drain must add completions: {ticked_completed} vs {}",
+            summary.completed
+        );
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Reduce-side bookkeeping of the serving loop.
+//!
+//! The per-node phase of a tick is sharded across workers (see
+//! [`uniserver_cloudmgr::cluster::Cluster::tick_sharded`]); everything
+//! in this module runs **after** the parallel phase, sequentially, on
+//! the orchestrator's thread — event drains, SLA charging and
+//! failure-driven recovery are placement-mutating and stay serial so a
+//! run is a pure function of its configuration.
+//!
+//! Two accounting rules live here and are locked by tests:
+//!
+//! * **crash events vs. crashed nodes** — `crashes` / `part_crashes`
+//!   count *events* (one per platform-surfaced [`CrashEvent`]), but a
+//!   node surfacing several events in one tick recovers — and backs off
+//!   its operating point — exactly **once**; compounding the 25 % EOP
+//!   backoff per event would overdrive healthy margins back to nominal.
+//! * **end-of-horizon drain** — the in-loop drain fires events due at
+//!   each tick *start*, so departures and settlements due in the final
+//!   `(last tick start, horizon]` window are drained once more after
+//!   the loop; without it `completed` / `migrations_settled`
+//!   undercount and the `placed = completed + evicted + live_at_end`
+//!   tie-out only balances through `live_at_end`.
+
+use uniserver_cloudmgr::cluster::{Cluster, Placement};
+use uniserver_cloudmgr::node::NodeId;
+use uniserver_cloudmgr::sla::SlaClass;
+use uniserver_core::eop::OperatingPoint;
+use uniserver_platform::node::CrashEvent;
+use uniserver_units::Seconds;
+
+use crate::config::MarginPolicy;
+use crate::events::{Event, EventQueue};
+use crate::summary::ClassStats;
+
+/// Index of a class in the gold/silver/bronze accounting arrays.
+pub(crate) fn class_idx(class: SlaClass) -> usize {
+    match class {
+        SlaClass::Gold => 0,
+        SlaClass::Silver => 1,
+        SlaClass::Bronze => 2,
+    }
+}
+
+/// The serving loop's running totals — everything the summary reports
+/// that is not an end-of-run fleet metric.
+#[derive(Debug)]
+pub(crate) struct ServeCounters {
+    pub offered: u64,
+    pub placed: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub evicted: u64,
+    /// Platform-surfaced crash *events* (a node can surface several in
+    /// one tick; recovery still runs once per node).
+    pub crashes: u64,
+    pub crash_migrations: u64,
+    pub settled: u64,
+    pub sla_violations: u64,
+    pub per_class: [ClassStats; 3],
+    /// Crash events attributed per part-mix entry.
+    pub part_crashes: Vec<u64>,
+    pub energy_j: f64,
+}
+
+impl ServeCounters {
+    /// Zeroed counters for a rack drawn from `parts` part-mix entries.
+    pub fn new(parts: usize) -> Self {
+        ServeCounters {
+            offered: 0,
+            placed: 0,
+            rejected: 0,
+            completed: 0,
+            evicted: 0,
+            crashes: 0,
+            crash_migrations: 0,
+            settled: 0,
+            sla_violations: 0,
+            per_class: [ClassStats::default(); 3],
+            part_crashes: vec![0; parts],
+            energy_j: 0.0,
+        }
+    }
+
+    /// Fires every event due at or before `until`, earliest first:
+    /// departures terminate their placement (completions), settlements
+    /// close their migration's books. Returns the completions fired by
+    /// this drain (the per-tick series' `completed` column). Called
+    /// once per tick with the tick-start time and once after the loop
+    /// with the horizon, so events due in the final partial window
+    /// still fire.
+    pub fn drain_due(&mut self, queue: &mut EventQueue, cluster: &mut Cluster, until: Seconds) -> u64 {
+        let mut completed_now = 0;
+        while let Some((_, event)) = queue.pop_due(until) {
+            match event {
+                Event::Departure(id) => {
+                    // False = the placement was evicted earlier; the
+                    // eviction already accounted for it.
+                    if cluster.terminate_by_id(id) {
+                        self.completed += 1;
+                        completed_now += 1;
+                    }
+                }
+                Event::MigrationSettled(_) => self.settled += 1,
+            }
+        }
+        completed_now
+    }
+
+    /// Charges one lost placement: an eviction is an SLA violation
+    /// whatever the class promised.
+    pub fn charge_eviction(&mut self, lost: &Placement) {
+        self.evicted += 1;
+        self.sla_violations += 1;
+        self.per_class[class_idx(lost.class)].violations += 1;
+    }
+
+    /// Failure-driven recovery for one tick's surfaced crash events.
+    ///
+    /// `crashes` / `part_crashes` count per *event*; recovery and the
+    /// EOP backoff run once per crashed *node* (deduplicated in
+    /// first-observation order), so a node surfacing several events in
+    /// one tick is not backed off towards nominal multiple times.
+    /// Returns the migrations performed (the per-tick series' column).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_crashes(
+        &mut self,
+        cluster: &mut Cluster,
+        queue: &mut EventQueue,
+        points: &mut [OperatingPoint],
+        node_parts: &[Option<usize>],
+        crashes: &[(NodeId, CrashEvent)],
+        tick_end: Seconds,
+        margins: MarginPolicy,
+        backoff: f64,
+    ) -> u64 {
+        let mut crashed: Vec<NodeId> = Vec::new();
+        for (node_id, _event) in crashes {
+            self.crashes += 1;
+            if let Some(p) = node_parts[node_id.0 as usize] {
+                self.part_crashes[p] += 1;
+            }
+            if !crashed.contains(node_id) {
+                crashed.push(*node_id);
+            }
+        }
+        let mut migrations = 0;
+        for node_id in crashed {
+            let recovery = cluster.recover_from_crash(node_id);
+            for (moved, cost) in &recovery.migrated {
+                self.crash_migrations += 1;
+                migrations += 1;
+                queue.schedule(cost.completes_at(tick_end), Event::MigrationSettled(moved.id));
+                // Gold/Silver promise continuity; a crash-forced move
+                // interrupted them.
+                if moved.class != SlaClass::Bronze {
+                    self.sla_violations += 1;
+                    self.per_class[class_idx(moved.class)].violations += 1;
+                }
+            }
+            for lost in &recovery.evicted {
+                self.charge_eviction(lost);
+            }
+            // Reboot firmware cleared the undervolts: re-deploy the
+            // node at a backed-off point instead of silently running
+            // nominal (or leave nominal racks alone).
+            if margins == MarginPolicy::Extended {
+                let idx = node_id.0 as usize;
+                points[idx] = points[idx].backed_off(backoff);
+                points[idx].apply_to(cluster.nodes_mut()[idx].hypervisor.node_mut());
+            }
+        }
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use uniserver_hypervisor::vm::VmConfig;
+    use uniserver_units::Volts;
+
+    use crate::config::OrchestratorConfig;
+    use crate::deploy::deploy_cluster;
+
+    fn crash_event(at: f64) -> CrashEvent {
+        CrashEvent { core: 0, at: Seconds::new(at), voltage: Volts::new(0.9), workload: Arc::from("ldbc") }
+    }
+
+    #[test]
+    fn duplicate_same_tick_crash_events_recover_and_back_off_once() {
+        let config = OrchestratorConfig::smoke(3, 11);
+        let (mut cluster, records, _, _) = deploy_cluster(&config);
+        let mut points: Vec<OperatingPoint> = records.iter().map(|r| r.point.clone()).collect();
+        let node_parts: Vec<Option<usize>> = records
+            .iter()
+            .map(|r| config.cluster.part_mix.iter().position(|p| p.spec.name == r.part))
+            .collect();
+        for _ in 0..3 {
+            cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze);
+        }
+        let victim = cluster.placements()[0].node;
+        let on_victim = cluster.placements_on(victim).len() as u64;
+        assert!(on_victim > 0);
+
+        let before = points[victim.0 as usize].clone();
+        let mut queue = EventQueue::new();
+        let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        // The node surfaced TWO crash events in the same tick.
+        let crashes = vec![(victim, crash_event(5.0)), (victim, crash_event(5.1))];
+        let migrations = counters.recover_crashes(
+            &mut cluster,
+            &mut queue,
+            &mut points,
+            &node_parts,
+            &crashes,
+            Seconds::new(5.0),
+            MarginPolicy::Extended,
+            config.crash_backoff,
+        );
+
+        assert_eq!(counters.crashes, 2, "crashes counts events, not nodes");
+        assert_eq!(counters.part_crashes.iter().sum::<u64>(), 2);
+        let once = before.backed_off(config.crash_backoff);
+        let twice = once.backed_off(config.crash_backoff);
+        assert_eq!(
+            points[victim.0 as usize].min_offset_mv(),
+            once.min_offset_mv(),
+            "the EOP backoff must apply once per crashed node, not once per event"
+        );
+        assert!(
+            points[victim.0 as usize].min_offset_mv() > twice.min_offset_mv(),
+            "compounded backoff would overdrive the margin towards nominal"
+        );
+        assert!(cluster.placements_on(victim).is_empty(), "recovery still clears the node");
+        assert_eq!(counters.crash_migrations + counters.evicted, on_victim);
+        assert_eq!(migrations, counters.crash_migrations);
+    }
+
+    #[test]
+    fn nominal_racks_never_back_off_points() {
+        let config = OrchestratorConfig { margins: MarginPolicy::Nominal, ..OrchestratorConfig::smoke(2, 5) };
+        let (mut cluster, records, _, _) = deploy_cluster(&config);
+        let mut points: Vec<OperatingPoint> = records.iter().map(|r| r.point.clone()).collect();
+        let node_parts = vec![None; records.len()];
+        let mut queue = EventQueue::new();
+        let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        counters.recover_crashes(
+            &mut cluster,
+            &mut queue,
+            &mut points,
+            &node_parts,
+            &[(NodeId(0), crash_event(1.0))],
+            Seconds::new(5.0),
+            MarginPolicy::Nominal,
+            config.crash_backoff,
+        );
+        assert_eq!(counters.crashes, 1);
+        assert_eq!(points[0].min_offset_mv(), 0.0, "nominal points stay nominal");
+    }
+
+    #[test]
+    fn drain_fires_departures_due_in_the_final_window() {
+        let config = OrchestratorConfig::smoke(2, 3);
+        let (mut cluster, _, _, _) = deploy_cluster(&config);
+        let placed = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed");
+        let mut queue = EventQueue::new();
+        // Due strictly after the last tick start (295 s) but within the
+        // 300 s horizon — exactly the window the loop used to drop.
+        queue.schedule(Seconds::new(297.5), Event::Departure(placed.id));
+        let mut counters = ServeCounters::new(1);
+        assert_eq!(counters.drain_due(&mut queue, &mut cluster, Seconds::new(295.0)), 0);
+        assert_eq!(counters.drain_due(&mut queue, &mut cluster, Seconds::new(300.0)), 1);
+        assert_eq!(counters.completed, 1);
+        assert!(cluster.placements().is_empty());
+        // A departure for an already-evicted placement completes nothing.
+        queue.schedule(Seconds::new(299.0), Event::Departure(placed.id));
+        assert_eq!(counters.drain_due(&mut queue, &mut cluster, Seconds::new(300.0)), 0);
+        assert_eq!(counters.completed, 1);
+    }
+}
