@@ -82,7 +82,7 @@ fn bench_scheduler(c: &mut Criterion) {
     let scheduler = Scheduler::default();
     let cfg = VmConfig::ldbc_benchmark();
     c.bench_function("scheduler_place_32_nodes", |b| {
-        b.iter(|| black_box(scheduler.place(nodes.iter(), &cfg, SlaClass::Silver)));
+        b.iter(|| black_box(scheduler.place_linear(nodes.iter(), &cfg, SlaClass::Silver)));
     });
 }
 

@@ -18,8 +18,8 @@
 //!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
 //!           [--no-per-node]
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
-//!           [--threads K] [--nominal] [--bench PATH] [--label NAME]
-//!           [--no-per-tick]
+//!           [--threads K] [--nominal] [--place linear|indexed]
+//!           [--bench PATH] [--label NAME] [--no-per-tick]
 //! ```
 //!
 //! * `--mixed` (fleet mode) deploys the heterogeneous reference fleet
@@ -30,6 +30,10 @@
 //! * `--nominal` (cluster mode) runs the rack at conservative
 //!   guard-bands instead of Extended Operating Points — the ablation
 //!   baseline for energy/SLA comparisons.
+//! * `--place linear` (cluster mode) routes placement through the
+//!   reference `Scheduler::place_linear` scan instead of the default
+//!   incremental index — the two are equivalent by construction, and CI
+//!   byte-diffs their stdout to prove it.
 //! * `--bench PATH` appends one JSON timing line (label, nodes, threads,
 //!   wall/deploy/serve ms, deploy + serve ms per node — cluster mode
 //!   adds the arrival count, margins, fleet energy and crash count) to
@@ -37,8 +41,9 @@
 //!   machine-local wall-clock and deliberately *not* part of the
 //!   summary on stdout.
 //! * `--threads K` drives the deploy workers in both modes **and** the
-//!   cluster mode's sharded serving loop (`Cluster::tick_sharded`):
-//!   per-node advancement runs on K scoped workers, every reduce stays
+//!   cluster mode's sharded serving loop (`Cluster::tick_pooled`, one
+//!   persistent pool per run): per-node advancement runs on K workers
+//!   (0 = one per core; clamped to the core count), every reduce stays
 //!   sequential in node-index order.
 //!
 //! Both modes print byte-identical stdout for any `--threads` value —
@@ -66,6 +71,10 @@ struct Args {
     mixed: bool,
     baseline: bool,
     nominal: bool,
+    /// `Some(true)` = linear, `Some(false)` = indexed; `None` = flag
+    /// absent (so fleet mode can reject *any* `--place`, not just
+    /// `--place linear`).
+    linear_place: Option<bool>,
     bench: Option<String>,
     label: Option<String>,
 }
@@ -84,6 +93,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         mixed: false,
         baseline: false,
         nominal: false,
+        linear_place: None,
         bench: None,
         label: None,
     };
@@ -111,6 +121,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--mixed" => args.mixed = true,
             "--baseline" => args.baseline = true,
             "--nominal" => args.nominal = true,
+            "--place" => {
+                args.linear_place = Some(match value("--place")?.as_str() {
+                    "linear" => true,
+                    "indexed" => false,
+                    other => return Err(format!("--place must be linear or indexed, got '{other}'")),
+                });
+            }
             "--bench" => args.bench = Some(value("--bench")?),
             "--label" => args.label = Some(value("--label")?),
             "--help" | "-h" => {
@@ -142,6 +159,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         if args.nominal {
             return Err("--nominal requires --cluster".into());
         }
+        if args.linear_place.is_some() {
+            return Err("--place requires --cluster (fleet mode has no scheduler)".into());
+        }
         if args.tick.is_some() {
             return Err("--tick requires --cluster (fleet mode uses a fixed 1 s tick)".into());
         }
@@ -157,7 +177,8 @@ fn usage() {
         "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
-         [--threads K] [--nominal] [--bench PATH] [--label NAME] [--no-per-tick]"
+         [--threads K] [--nominal] [--place linear|indexed] [--bench PATH] \
+         [--label NAME] [--no-per-tick]"
     );
 }
 
@@ -184,6 +205,7 @@ fn run_cluster(args: Args) -> ExitCode {
         config.tick = Seconds::new(tick);
     }
     config.threads = args.threads;
+    config.linear_placement = args.linear_place.unwrap_or(false);
     if args.nominal {
         config.margins = MarginPolicy::Nominal;
     }

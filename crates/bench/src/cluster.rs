@@ -78,9 +78,11 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
 /// The full `BENCH_cluster.json` record: the run's headline outcome
 /// (margins, fleet energy, crash count) plus the timing columns —
 /// `threads` is the worker count used for deploy *and* the sharded
-/// serving loop, `serve_ms_per_node` the serve wall-clock amortized
-/// over the rack. An extended-vs-nominal pair of records carries the
-/// savings story without re-parsing the stdout summary.
+/// serving loop, `cores` the machine's available parallelism (so a
+/// single-core container's wall-clocks read as what they are), and
+/// `serve_ms_per_node` the serve wall-clock amortized over the rack. An
+/// extended-vs-nominal pair of records carries the savings story
+/// without re-parsing the stdout summary.
 #[must_use]
 pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> String {
     let mut w = JsonWriter::object();
@@ -91,6 +93,7 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
     w.field_u64("nodes", t.nodes as u64);
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
+    w.field_u64("cores", t.cores as u64);
     w.field_f64("wall_ms", t.wall_ms);
     w.field_f64("deploy_ms", t.deploy_ms);
     w.field_f64("serve_ms", t.serve_ms);
@@ -129,6 +132,7 @@ mod tests {
             "\"crashes\":",
             "\"nodes\":2",
             "\"arrivals\":",
+            "\"cores\":",
             "\"wall_ms\":",
             "\"deploy_ms_per_node\":",
             "\"serve_ms_per_node\":",

@@ -43,10 +43,11 @@
 //! ([`FleetTiming`]) are reported separately and are *not* part of the
 //! deterministic summary.
 
-use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
+
+use uniserver_cloudmgr::pool::{cores, resolve_workers};
 
 use uniserver_core::ecosystem::{DeploymentConfig, Ecosystem, SavingsReport};
 use uniserver_core::training::AdvisorCache;
@@ -247,8 +248,13 @@ pub struct FleetTiming {
     /// Nodes simulated (denominator for the per-node rates).
     pub nodes: usize,
     /// Worker threads actually used (the resolved count, not the
-    /// configured one — `threads: 0` resolves to the core count).
+    /// configured one — `threads: 0` resolves to the core count and
+    /// explicit requests clamp to it).
     pub workers: usize,
+    /// CPU cores available on the benching machine — recorded so a
+    /// wall-clock from a single-core container is never mistaken for a
+    /// multi-worker regression.
+    pub cores: usize,
 }
 
 impl FleetTiming {
@@ -265,6 +271,7 @@ impl FleetTiming {
         w.field_str("label", label);
         w.field_u64("nodes", self.nodes as u64);
         w.field_u64("threads", self.workers as u64);
+        w.field_u64("cores", self.cores as u64);
         w.field_f64("wall_ms", self.wall_ms);
         w.field_f64("deploy_ms", self.deploy_ms);
         w.field_f64("serve_ms", self.serve_ms);
@@ -340,12 +347,10 @@ pub fn simulate_timed(config: &FleetConfig) -> (FleetSummary, FleetTiming) {
     assert!(config.horizon.as_secs() > 0.0, "horizon must be positive");
 
     let wall_start = Instant::now();
-    let workers = if config.threads == 0 {
-        thread::available_parallelism().map_or(1, NonZeroUsize::get)
-    } else {
-        config.threads
-    }
-    .min(config.nodes);
+    // Clamped to available cores: oversubscribing the CPU-bound deploy
+    // only adds scheduling overhead (and inflates the summed per-worker
+    // wall-clocks a bench record reports).
+    let workers = resolve_workers(config.threads, config.nodes);
 
     // Train every part the mix can produce up front: workers then only
     // ever hit the cache, sharing one Arc'd model per part instead of
@@ -475,6 +480,7 @@ pub fn simulate_timed(config: &FleetConfig) -> (FleetSummary, FleetTiming) {
         serve_ms: serve_secs * 1e3,
         nodes: config.nodes,
         workers,
+        cores: cores(),
     };
     (summary, timing)
 }
@@ -609,6 +615,7 @@ mod tests {
         let json = timing.to_json("smoke");
         assert!(json.contains("\"label\":\"smoke\""));
         assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"cores\":"));
         assert!(json.contains("\"deploy_ms_per_node\":"));
     }
 }

@@ -5,16 +5,18 @@
 //!
 //! Per-tick node advancement (hypervisor tick + failure-predictor log
 //! scan) is embarrassingly parallel between placement decisions, so
-//! [`Cluster::tick_sharded`] splits it across scoped worker threads in
-//! contiguous node-index chunks and then **reduces sequentially in node
-//! order**: energy is summed index-by-index (bit-identical floats for
-//! any worker count), crash events are emitted ordered by
-//! `(node index, event order)`, and the predictor's score write-back —
-//! plus the placement-mutating phases (proactive migration, recovery) —
-//! stay sequential. Worker count can therefore never change a report.
+//! [`Cluster::tick_pooled`] splits it across the workers of a
+//! persistent [`ShardPool`] in contiguous node-index chunks and then
+//! **reduces sequentially in node order**: energy is summed
+//! index-by-index (bit-identical floats for any worker count), crash
+//! events are emitted ordered by `(node index, event order)`, and the
+//! predictor's score write-back — plus the placement-mutating phases
+//! (proactive migration, recovery) — stay sequential. Worker count can
+//! therefore never change a report. [`Cluster::tick_sharded`] keeps the
+//! worker-count API by running the same path on a transient pool.
 
 use std::collections::HashMap;
-use std::thread;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use uniserver_units::{Joules, Seconds};
@@ -25,8 +27,10 @@ use uniserver_platform::part::PartSpec;
 use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
 use crate::failure::{FailurePredictor, ScoreUpdate};
+use crate::index::PlacementIndex;
 use crate::migrate::MigrationModel;
 use crate::node::{ManagedNode, NodeId};
+use crate::pool::ShardPool;
 use crate::scheduler::Scheduler;
 use crate::sla::SlaClass;
 
@@ -198,6 +202,11 @@ pub struct Cluster {
     scheduler: Scheduler,
     predictor: FailurePredictor,
     migration: MigrationModel,
+    /// Incremental placement index over `nodes` (see [`PlacementIndex`]).
+    index: PlacementIndex,
+    /// Route placement through the reference linear scan instead of the
+    /// index — the ablation/CI-diff path.
+    linear_placement: bool,
     placements: Vec<Placement>,
     next_placement: u64,
     migrations: u64,
@@ -240,11 +249,17 @@ impl Cluster {
     #[must_use]
     pub fn from_nodes(nodes: Vec<ManagedNode>, scheduler: Scheduler, migration: MigrationModel) -> Self {
         assert!(!nodes.is_empty(), "a cluster needs nodes");
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id.0 as usize, i, "cluster node ids must be dense 0..n");
+        }
+        let index = PlacementIndex::new(nodes.len());
         Cluster {
             nodes,
             scheduler,
             predictor: FailurePredictor::new(),
             migration,
+            index,
+            linear_placement: false,
             placements: Vec::new(),
             next_placement: 0,
             migrations: 0,
@@ -262,8 +277,39 @@ impl Cluster {
     }
 
     /// Mutable node access, for experiments that degrade specific nodes.
+    /// Unrestricted mutation can move any placement score, so the whole
+    /// index is invalidated (re-scored lazily on the next placement).
     pub fn nodes_mut(&mut self) -> &mut [ManagedNode] {
+        self.index.mark_all();
         &mut self.nodes
+    }
+
+    /// Routes placement through [`Scheduler::place_linear`] instead of
+    /// the incremental index. The two are equivalent by construction
+    /// (CI byte-diffs them end-to-end); the linear scan is kept as the
+    /// reference for tests, ablations and micro-benchmarks.
+    pub fn set_linear_placement(&mut self, linear: bool) {
+        self.linear_placement = linear;
+    }
+
+    /// One placement decision: the feasible node with the highest
+    /// `(score, NodeId)`, via the index or the reference linear scan.
+    fn place_on(
+        &mut self,
+        config: &VmConfig,
+        class: SlaClass,
+        exclude: Option<NodeId>,
+    ) -> Option<NodeId> {
+        if self.linear_placement {
+            self.scheduler.place_linear(
+                self.nodes.iter().filter(|n| Some(n.id) != exclude),
+                config,
+                class,
+            )
+        } else {
+            self.index.flush(&self.scheduler, &self.nodes);
+            self.index.place(&self.scheduler, &self.nodes, config, class, exclude)
+        }
     }
 
     /// Current placements.
@@ -274,13 +320,14 @@ impl Cluster {
 
     /// Submits a VM request; returns its placement if a node was found.
     pub fn submit(&mut self, config: VmConfig, class: SlaClass) -> Option<Placement> {
-        let Some(target) = self.scheduler.place(self.nodes.iter(), &config, class) else {
+        let Some(target) = self.place_on(&config, class, None) else {
             self.rejected += 1;
             return None;
         };
         let node = self.node_mut(target);
         match node.launch(config) {
             Ok(vm) => {
+                self.index.mark(target);
                 let id = PlacementId(self.next_placement);
                 self.next_placement += 1;
                 let placement = Placement { id, node: target, vm, class };
@@ -306,25 +353,61 @@ impl Cluster {
     }
 
     /// [`Cluster::tick`] with the per-node phase sharded across
-    /// `workers` scoped threads (clamped to `[1, nodes]`). Each worker
-    /// advances one contiguous node-index chunk — hypervisor tick plus
-    /// the predictor's immutable log scan — and the results are reduced
-    /// sequentially in node order, so **any worker count produces the
-    /// identical report**: energy sums in index order (bit-identical
-    /// floats), crash events order by `(node index, event order)`, and
-    /// the predictor write-back and placement-mutating phases run on
-    /// the caller's thread.
+    /// `workers` threads (clamped to `[1, nodes]`) of a **transient**
+    /// pool. Per-tick callers should hold a [`ShardPool`] and use
+    /// [`Cluster::tick_pooled`] instead — spawning threads every tick is
+    /// exactly the overhead the persistent pool removes — but the
+    /// reduce contract is identical either way.
     pub fn tick_sharded(&mut self, duration: Seconds, workers: usize) -> ClusterTickReport {
-        let advances = self.advance_nodes(duration, workers.clamp(1, self.nodes.len()));
+        let workers = workers.clamp(1, self.nodes.len());
+        if workers <= 1 {
+            return self.tick_reduce(duration, None);
+        }
+        let pool = ShardPool::new(workers);
+        self.tick_pooled(duration, &pool)
+    }
+
+    /// [`Cluster::tick`] with the per-node phase sharded across the
+    /// workers of a persistent [`ShardPool`] in contiguous node-index
+    /// chunks. The results are reduced sequentially in node order, so
+    /// **any worker count produces the identical report**: energy sums
+    /// in index order (bit-identical floats), crash events order by
+    /// `(node index, event order)`, and the predictor write-back and
+    /// placement-mutating phases run on the caller's thread.
+    pub fn tick_pooled(&mut self, duration: Seconds, pool: &ShardPool) -> ClusterTickReport {
+        if pool.workers() <= 1 || self.nodes.len() <= 1 {
+            return self.tick_reduce(duration, None);
+        }
+        self.tick_reduce(duration, Some(pool))
+    }
+
+    /// The full tick: parallel per-node phase (sequential when `pool` is
+    /// `None`), then the sequential reduce and placement-mutating
+    /// phases.
+    fn tick_reduce(&mut self, duration: Seconds, pool: Option<&ShardPool>) -> ClusterTickReport {
+        let advances = match pool {
+            Some(pool) => self.advance_nodes_pooled(duration, pool),
+            None => {
+                let predictor = &self.predictor;
+                self.nodes.iter_mut().map(|n| advance_node(n, predictor, duration)).collect()
+            }
+        };
 
         // --- Sequential reduce, in node-index order.
         let mut crashes = Vec::new();
         let mut energy = Joules::ZERO;
         let predictor = &mut self.predictor;
+        let index = &mut self.index;
         for (node, adv) in self.nodes.iter_mut().zip(advances) {
             energy = energy + adv.energy;
             crashes.extend(adv.crash_events.into_iter().map(|ev| (node.id, ev)));
-            node.reliability = predictor.apply(node.id.0, adv.score);
+            let reliability = predictor.apply(node.id.0, adv.score);
+            // Reliability moves the placement score; healthy nodes whose
+            // rolling score stays put (the common case) stay clean.
+            if reliability != node.reliability {
+                node.reliability = reliability;
+                index.mark(node.id);
+            }
         }
 
         // Nodes that crashed *this tick* are failure-recovery business,
@@ -345,35 +428,50 @@ impl Cluster {
 
     /// The parallel phase of a sharded tick: every node's hypervisor
     /// advances and its health log is scored, one contiguous chunk per
-    /// worker. Returns per-node advances **in node-index order** (chunks
-    /// are contiguous and joined in spawn order, so thread scheduling
-    /// cannot reorder them).
-    fn advance_nodes(&mut self, duration: Seconds, workers: usize) -> Vec<NodeAdvance> {
-        let predictor = &self.predictor;
-        if workers <= 1 {
-            return self.nodes.iter_mut().map(|n| advance_node(n, predictor, duration)).collect();
-        }
+    /// worker. Returns per-node advances **in node-index order**
+    /// ([`ShardPool::scatter`] reassembles chunks in job-index order, so
+    /// worker scheduling cannot reorder them).
+    ///
+    /// The pool's workers are long-lived, so they cannot borrow from the
+    /// cluster the way scoped threads could: node chunks move **by
+    /// value** into the jobs and back out with the results (two shallow
+    /// O(n) moves per tick), and the predictor rides an `Arc` whose last
+    /// reference returns here after the join — per-node computation is
+    /// untouched, so the pooled and sequential paths are bit-identical.
+    fn advance_nodes_pooled(&mut self, duration: Seconds, pool: &ShardPool) -> Vec<NodeAdvance> {
         let n = self.nodes.len();
+        let workers = pool.workers().clamp(1, n);
         let chunk = n.div_ceil(workers);
-        thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
-                .chunks_mut(chunk)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        shard
-                            .iter_mut()
-                            .map(|n| advance_node(n, predictor, duration))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            let mut all = Vec::with_capacity(n);
-            for handle in handles {
-                all.extend(handle.join().expect("cluster tick worker panicked"));
-            }
-            all
-        })
+        let jobs = n.div_ceil(chunk);
+        let predictor = Arc::new(std::mem::take(&mut self.predictor));
+
+        let mut it = std::mem::take(&mut self.nodes).into_iter();
+        let mut chunks: Vec<Vec<ManagedNode>> =
+            (0..jobs).map(|_| it.by_ref().take(chunk).collect()).collect();
+        let results = pool.scatter(jobs, |i| {
+            let mut shard = std::mem::take(&mut chunks[i]);
+            let predictor = Arc::clone(&predictor);
+            Box::new(move || {
+                let advances: Vec<NodeAdvance> = shard
+                    .iter_mut()
+                    .map(|node| advance_node(node, &predictor, duration))
+                    .collect();
+                (shard, advances)
+            })
+        });
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut advances = Vec::with_capacity(n);
+        for (shard, shard_advances) in results {
+            nodes.extend(shard);
+            advances.extend(shard_advances);
+        }
+        self.nodes = nodes;
+        // Every job dropped its clone before reporting its result, and
+        // `scatter` saw all of them: this reference is the last.
+        self.predictor =
+            Arc::try_unwrap(predictor).expect("workers released the predictor on join");
+        advances
     }
 
     /// Failure-driven recovery after a node crash: every tracked
@@ -408,13 +506,16 @@ impl Cluster {
                     }
                 }
             };
-            let target = self
-                .scheduler
-                .place(self.nodes.iter().filter(|n| n.id != crashed), &config, victim.class);
+            let target = self.place_on(&config, victim.class, Some(crashed));
             // Off the crashed host either way.
             self.node_mut(victim.node).hypervisor.stop_vm(victim.vm);
+            self.index.mark(victim.node);
             let launched = target.and_then(|t| {
-                self.node_mut(t).launch(config).ok().map(|new_vm| (t, new_vm))
+                let launched = self.node_mut(t).launch(config).ok().map(|new_vm| (t, new_vm));
+                if launched.is_some() {
+                    self.index.mark(t);
+                }
+                launched
             });
             match launched {
                 Some((t, new_vm)) => {
@@ -478,19 +579,14 @@ impl Cluster {
                 }
                 (vm.config.clone(), self.migration.cost(vm))
             };
-            let target = self
-                .scheduler
-                .place(
-                    self.nodes.iter().filter(|n| n.id != placement.node),
-                    &config,
-                    placement.class,
-                )
-                .filter(|t| *t != placement.node);
+            let target = self.place_on(&config, placement.class, Some(placement.node));
             let Some(target) = target else { continue };
 
             // Stop on the failing source, start on the healthy target.
             self.node_mut(placement.node).hypervisor.stop_vm(placement.vm);
+            self.index.mark(placement.node);
             if let Ok(new_vm) = self.node_mut(target).launch(config) {
+                self.index.mark(target);
                 self.placements[idx] =
                     Placement { id: placement.id, node: target, vm: new_vm, class: placement.class };
                 self.migrations += 1;
@@ -534,6 +630,7 @@ impl Cluster {
 
     fn terminate_idx(&mut self, idx: usize) -> bool {
         let record = self.placements.swap_remove(idx);
+        self.index.mark(record.node);
         // stop_vm is idempotent: false means the VM was already stopped
         // (e.g. by a migration whose relaunch failed).
         self.node_mut(record.node).hypervisor.stop_vm(record.vm)
@@ -802,6 +899,36 @@ mod tests {
             assert_eq!(a.reliability, b.reliability);
             assert_eq!(a.metrics(), b.metrics());
         }
+    }
+
+    #[test]
+    fn one_persistent_pool_serves_every_tick_identically() {
+        // The orchestrator's pattern: one ShardPool reused across the
+        // whole horizon (deploy + ~720 ticks) — versus fresh sequential
+        // ticks. Reusing workers must be invisible in every report.
+        let build = || {
+            let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(5), 100);
+            for i in 0..5 {
+                let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+                cluster.submit(VmConfig::idle_guest(), class);
+            }
+            let deep = cluster.nodes()[0].hypervisor.node().part().offset_mv(0.20);
+            cluster.nodes_mut()[0].hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+            cluster
+        };
+        let mut seq = build();
+        let mut pooled = build();
+        let pool = ShardPool::new(3);
+        let mut saw_crash = false;
+        for tick in 0..60 {
+            let a = seq.tick(Seconds::new(1.0));
+            let b = pooled.tick_pooled(Seconds::new(1.0), &pool);
+            assert_eq!(a, b, "pool reuse changed tick {tick}");
+            saw_crash |= !a.crashes.is_empty();
+        }
+        assert!(saw_crash, "a 20 % undervolt must crash within 60 ticks");
+        assert_eq!(seq.fleet_metrics(), pooled.fleet_metrics());
+        assert_eq!(seq.placements(), pooled.placements());
     }
 
     #[test]

@@ -56,16 +56,23 @@ impl PatternWeights {
 /// back in by [`FailurePredictor::apply`]. Splitting the two lets the
 /// sharded cluster loop score logs on worker threads while keeping the
 /// state write-back sequential (and therefore deterministic).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ScoreUpdate {
     /// The log did not grow: decay the rolling score one step.
     Decay,
-    /// The log grew: replace the rolling score with a fresh window scan.
+    /// The log grew: fold the new lines' scores into the rolling window.
     Rescore {
         /// Log length consumed by the scan.
         consumed: usize,
-        /// The fresh window score.
-        score: f64,
+        /// Pattern scores of the log lines appended since the last
+        /// apply, capped at the window size (earlier appends scrolled
+        /// straight out). Log lines are immutable once written, so a
+        /// line is pattern-matched **once** in its lifetime — the
+        /// write-back keeps a per-node window of these cached scores
+        /// and re-sums it in line order, which is bit-identical to
+        /// re-scanning the whole window (same addends, same order) at
+        /// a fraction of the string-matching cost.
+        line_scores: Vec<f64>,
     },
 }
 
@@ -90,6 +97,12 @@ pub struct FailurePredictor {
     /// last update decays its memoized score instead of re-scanning —
     /// the cluster loop calls this for every node every tick.
     scores: HashMap<u32, f64>,
+    /// Per-node window of cached per-line pattern scores (the last
+    /// `window_lines` log lines, oldest first). Lines are scored once,
+    /// on the worker that observed them; the window re-sums in line
+    /// order so the rolling score stays bit-identical to a full window
+    /// re-scan.
+    windows: HashMap<u32, Vec<f64>>,
 }
 
 impl FailurePredictor {
@@ -103,6 +116,7 @@ impl FailurePredictor {
             silent_decay: 0.97,
             consumed: HashMap::new(),
             scores: HashMap::new(),
+            windows: HashMap::new(),
         }
     }
 
@@ -133,29 +147,45 @@ impl FailurePredictor {
         self.apply(node_id, update)
     }
 
-    /// The read-only half of [`FailurePredictor::update_node`]: scans
-    /// the node's log (only when it grew since the last apply) and
-    /// returns what the write-back should do. Immutable, so the cluster
-    /// loop's workers can score whole node shards in parallel; the
-    /// resulting updates are applied sequentially in node-index order.
+    /// The read-only half of [`FailurePredictor::update_node`]: scores
+    /// the log lines appended since the last apply (only when the log
+    /// grew) and returns what the write-back should do. Immutable, so
+    /// the cluster loop's workers can score whole node shards in
+    /// parallel; the resulting updates are applied sequentially in
+    /// node-index order.
+    ///
+    /// Only *new* lines are pattern-matched — the expensive string scan
+    /// runs once per line ever, not once per line per tick. Each
+    /// observation must be applied (once) before the next observation
+    /// of the same node, which is exactly the cluster loop's
+    /// observe-all / apply-all-in-order contract.
     #[must_use]
     pub fn observe(&self, node_id: u32, health: &HealthLog) -> ScoreUpdate {
         let len = health.logfile().len();
         match (self.consumed.get(&node_id), self.scores.get(&node_id)) {
             (Some(&seen), Some(_)) if seen == len => ScoreUpdate::Decay,
-            _ => {
+            tracked => {
                 let lines = health.logfile();
-                let start = lines.len().saturating_sub(self.window_lines);
-                let score: f64 =
-                    lines[start..].iter().map(|l| self.patterns.score_line(l)).sum();
-                ScoreUpdate::Rescore { consumed: len, score }
+                let seen = match tracked {
+                    (Some(&seen), Some(_)) => seen,
+                    _ => 0,
+                };
+                // Lines that would scroll straight out of the window are
+                // never worth scoring.
+                let start = seen.max(len.saturating_sub(self.window_lines));
+                let line_scores: Vec<f64> =
+                    lines[start..].iter().map(|l| self.patterns.score_line(l)).collect();
+                ScoreUpdate::Rescore { consumed: len, line_scores }
             }
         }
     }
 
     /// The write-back half of [`FailurePredictor::update_node`]: folds a
     /// worker-computed [`ScoreUpdate`] into the rolling per-node state
-    /// and returns the node's reliability.
+    /// and returns the node's reliability. A rescore slides the cached
+    /// line scores through the node's window and re-sums it **in line
+    /// order** — the identical addends, in the identical order, as the
+    /// full window scan it replaces, so reliabilities are bit-equal.
     ///
     /// # Panics
     ///
@@ -172,7 +202,14 @@ impl FailurePredictor {
                 *score *= self.silent_decay;
                 *score
             }
-            ScoreUpdate::Rescore { consumed, score } => {
+            ScoreUpdate::Rescore { consumed, line_scores } => {
+                let window = self.windows.entry(node_id).or_default();
+                window.extend_from_slice(&line_scores);
+                if window.len() > self.window_lines {
+                    let excess = window.len() - self.window_lines;
+                    window.drain(..excess);
+                }
+                let score: f64 = window.iter().sum();
                 self.consumed.insert(node_id, consumed);
                 self.scores.insert(node_id, score);
                 score
@@ -306,6 +343,8 @@ mod tests {
         let b = p.observe(9, &h);
         assert_eq!(a, b, "observe must not mutate predictor state");
         assert!(matches!(a, ScoreUpdate::Rescore { consumed: 1, .. }));
+        let ScoreUpdate::Rescore { line_scores, .. } = a else { unreachable!() };
+        assert_eq!(line_scores.len(), 1, "only the new line is scored");
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Incremental placement index: cached scores + a sorted candidate set.
+//!
+//! `Scheduler::place_linear` re-weighs the whole rack for every request
+//! — ~10⁸ filter/weigh evaluations per simulated hour at 10⁴ nodes.
+//! Energy-aware cloud managers treat placement as an incremental,
+//! indexed decision instead (Beloglazov & Buyya's survey of
+//! energy-efficient cloud scheduling; Paya & Marinescu's energy-aware
+//! load-balancing policies): a node's placement score only changes when
+//! one of a handful of events touches it, so the manager maintains the
+//! ranking and re-evaluates *dirty* nodes, not the rack.
+//!
+//! [`PlacementIndex`] caches each node's weigher score in a flat
+//! `Vec<f64>` keyed by node index plus a `BTreeSet<(score, NodeId)>`
+//! ranking. The cluster marks a node dirty on exactly the events that
+//! can move its score — VM launch, departure, migration (stop + start),
+//! crash recovery and predictor write-backs that change reliability —
+//! and [`PlacementIndex::place`] flushes the dirty set, then walks the
+//! ranking from the top, returning the first node that passes the
+//! *request-dependent* filter (capacity, crash state, availability and
+//! reliability floors are read live from the node).
+//!
+//! # Equivalence with the linear scan
+//!
+//! The scan order is descending `(score, NodeId)` — exactly the
+//! explicit tie-break of [`Scheduler::place_linear`] — and the weigher
+//! is deterministic in its inputs, so a correctly-invalidated index
+//! returns the *identical* node for every request. CI byte-diffs the
+//! two paths end-to-end; `tests/placement_index.rs` property-tests them
+//! against each other under churn.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use uniserver_hypervisor::vm::VmConfig;
+
+use crate::node::{ManagedNode, NodeId};
+use crate::scheduler::Scheduler;
+use crate::sla::SlaClass;
+
+/// A finite `f64` score with a total order, so scores can key the
+/// ranking set. Placement scores are finite by construction (the
+/// weigher is a weighted sum of bounded metrics); a NaN panics loudly
+/// instead of corrupting the order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Score(f64);
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("placement scores are finite")
+    }
+}
+
+/// The incremental placement index. One per [`crate::cluster::Cluster`];
+/// node ids must be the dense `0..n` the cluster builders produce.
+#[derive(Debug, Clone)]
+pub struct PlacementIndex {
+    /// Cached weigher score per node index (valid when not dirty).
+    scores: Vec<f64>,
+    /// Ranking of all indexed nodes by `(score, NodeId)`.
+    by_score: BTreeSet<(Score, NodeId)>,
+    /// Per-node dirty flag (score must be recomputed before use).
+    dirty: Vec<bool>,
+    /// Dirty node indices pending a flush (each at most once).
+    pending: Vec<u32>,
+    /// Whether the node currently has an entry in `by_score`.
+    indexed: Vec<bool>,
+}
+
+impl PlacementIndex {
+    /// An index over `n` nodes, all initially dirty (first use scores
+    /// the whole rack once; after that only events pay).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        #[allow(clippy::cast_possible_truncation)]
+        let pending = (0..n as u32).collect();
+        PlacementIndex {
+            scores: vec![0.0; n],
+            by_score: BTreeSet::new(),
+            dirty: vec![true; n],
+            pending,
+            indexed: vec![false; n],
+        }
+    }
+
+    /// Marks one node's cached score stale.
+    pub fn mark(&mut self, id: NodeId) {
+        let i = id.0 as usize;
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.pending.push(id.0);
+        }
+    }
+
+    /// Marks every node stale — the blunt hammer behind unrestricted
+    /// mutable node access.
+    pub fn mark_all(&mut self) {
+        self.pending.clear();
+        for (i, d) in self.dirty.iter_mut().enumerate() {
+            *d = true;
+            #[allow(clippy::cast_possible_truncation)]
+            self.pending.push(i as u32);
+        }
+    }
+
+    /// Number of nodes currently marked dirty (diagnostics/tests).
+    #[must_use]
+    pub fn dirty_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Re-scores every dirty node and repairs the ranking.
+    pub fn flush(&mut self, scheduler: &Scheduler, nodes: &[ManagedNode]) {
+        for i in std::mem::take(&mut self.pending) {
+            let i = i as usize;
+            let node = &nodes[i];
+            debug_assert_eq!(node.id.0 as usize, i, "node ids must be dense");
+            if self.indexed[i] {
+                self.by_score.remove(&(Score(self.scores[i]), node.id));
+            }
+            let score = scheduler.weigh(node);
+            self.scores[i] = score;
+            self.by_score.insert((Score(score), node.id));
+            self.indexed[i] = true;
+            self.dirty[i] = false;
+        }
+    }
+
+    /// Indexed placement: the feasible node with the highest
+    /// `(score, NodeId)`, walking the ranking from the top and
+    /// re-checking only the request-dependent filter per candidate.
+    /// Callers must [`PlacementIndex::flush`] first (the cluster's
+    /// placement wrapper does).
+    #[must_use]
+    pub fn place(
+        &self,
+        scheduler: &Scheduler,
+        nodes: &[ManagedNode],
+        config: &VmConfig,
+        class: SlaClass,
+        exclude: Option<NodeId>,
+    ) -> Option<NodeId> {
+        debug_assert_eq!(self.dirty_count(), 0, "place() requires a flushed index");
+        for &(_, id) in self.by_score.iter().rev() {
+            if Some(id) == exclude {
+                continue;
+            }
+            let node = &nodes[id.0 as usize];
+            if scheduler.filter(node, config, class) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniserver_platform::part::PartSpec;
+
+    fn nodes(n: usize) -> Vec<ManagedNode> {
+        (0..n)
+            .map(|i| {
+                #[allow(clippy::cast_possible_truncation)]
+                ManagedNode::provision(NodeId(i as u32), PartSpec::arm_microserver(), i as u64)
+            })
+            .collect()
+    }
+
+    fn assert_matches_linear(
+        index: &mut PlacementIndex,
+        scheduler: &Scheduler,
+        ns: &[ManagedNode],
+        config: &VmConfig,
+    ) {
+        index.flush(scheduler, ns);
+        for class in [SlaClass::Gold, SlaClass::Silver, SlaClass::Bronze] {
+            assert_eq!(
+                index.place(scheduler, ns, config, class, None),
+                scheduler.place_linear(ns.iter(), config, class),
+                "indexed placement diverged from the linear scan at {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_index_matches_linear_scan() {
+        let ns = nodes(5);
+        let s = Scheduler::default();
+        let mut index = PlacementIndex::new(ns.len());
+        assert_matches_linear(&mut index, &s, &ns, &VmConfig::idle_guest());
+    }
+
+    #[test]
+    fn dirty_marks_track_load_and_reliability_changes() {
+        let mut ns = nodes(4);
+        let s = Scheduler::default();
+        let mut index = PlacementIndex::new(ns.len());
+        index.flush(&s, &ns);
+        assert_eq!(index.dirty_count(), 0);
+
+        // Load node 3 (the previous tie-break winner) and tell the index.
+        ns[3].launch(VmConfig::ldbc_benchmark()).unwrap();
+        index.mark(NodeId(3));
+        assert_eq!(index.dirty_count(), 1);
+        assert_matches_linear(&mut index, &s, &ns, &VmConfig::idle_guest());
+
+        // Degrade node 2's reliability and tell the index.
+        ns[2].reliability = 0.4;
+        index.mark(NodeId(2));
+        assert_matches_linear(&mut index, &s, &ns, &VmConfig::idle_guest());
+    }
+
+    #[test]
+    fn excluded_nodes_are_skipped() {
+        let ns = nodes(3);
+        let s = Scheduler::default();
+        let mut index = PlacementIndex::new(ns.len());
+        index.flush(&s, &ns);
+        let cfg = VmConfig::idle_guest();
+        assert_eq!(index.place(&s, &ns, &cfg, SlaClass::Gold, None), Some(NodeId(2)));
+        assert_eq!(
+            index.place(&s, &ns, &cfg, SlaClass::Gold, Some(NodeId(2))),
+            Some(NodeId(1)),
+            "excluding the winner must yield the runner-up"
+        );
+    }
+
+    #[test]
+    fn duplicate_marks_flush_once() {
+        let ns = nodes(2);
+        let s = Scheduler::default();
+        let mut index = PlacementIndex::new(ns.len());
+        index.flush(&s, &ns);
+        index.mark(NodeId(1));
+        index.mark(NodeId(1));
+        assert_eq!(index.dirty_count(), 1, "re-marking a dirty node must not grow the queue");
+        index.flush(&s, &ns);
+        assert_eq!(index.dirty_count(), 0);
+    }
+
+    #[test]
+    fn mark_all_rescores_the_rack() {
+        let mut ns = nodes(3);
+        let s = Scheduler::default();
+        let mut index = PlacementIndex::new(ns.len());
+        index.flush(&s, &ns);
+        // Mutate behind the index's back, then invalidate wholesale.
+        ns[0].reliability = 0.1;
+        ns[1].launch(VmConfig::ldbc_benchmark()).unwrap();
+        index.mark_all();
+        assert_eq!(index.dirty_count(), 3);
+        assert_matches_linear(&mut index, &s, &ns, &VmConfig::idle_guest());
+    }
+}

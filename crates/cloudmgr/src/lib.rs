@@ -35,8 +35,10 @@
 
 pub mod cluster;
 pub mod failure;
+pub mod index;
 pub mod migrate;
 pub mod node;
+pub mod pool;
 pub mod scheduler;
 pub mod sla;
 pub mod stream;
@@ -45,8 +47,10 @@ pub use cluster::{
     Cluster, ClusterConfig, ClusterTickReport, CrashRecovery, PartWeight, Placement, PlacementId,
 };
 pub use failure::{FailurePredictor, ScoreUpdate};
+pub use index::PlacementIndex;
 pub use migrate::{MigrationCost, MigrationModel};
 pub use node::{ManagedNode, NodeId, NodeMetrics};
+pub use pool::{cores, resolve_workers, ShardPool};
 pub use scheduler::{Scheduler, SchedulerWeights};
 pub use sla::SlaClass;
 pub use stream::{arrival_seed, Arrival, StreamDriver, VmStream};

@@ -1,0 +1,238 @@
+//! A persistent worker pool for the serving loop's sharded phases.
+//!
+//! The sharded cluster tick used to spawn fresh `thread::scope` workers
+//! every tick — ~720 spawns × workers per simulated hour, paid again by
+//! the parallel deploy. [`ShardPool`] spawns its workers **once** and
+//! feeds them jobs over a channel, so the orchestrator creates one pool
+//! per run and reuses it across deploy and every tick.
+//!
+//! # Design
+//!
+//! The workspace denies `unsafe_code`, so the pool cannot hand borrowed
+//! slices to long-lived threads the way `thread::scope` does. Jobs are
+//! therefore **owning** closures (`FnOnce() + Send + 'static`): callers
+//! move their data in (node chunks by value, shared state behind `Arc`)
+//! and receive it back through the result channel of
+//! [`ShardPool::scatter`]. Moving a `ManagedNode` is a shallow struct
+//! copy — the hypervisor state behind it stays put — so a 10⁴-node tick
+//! pays two O(n) pointer-sized moves, not a deep clone.
+//!
+//! # Determinism
+//!
+//! Workers compete for jobs, so *completion* order is scheduling-
+//! dependent — but [`ShardPool::scatter`] returns results in job-index
+//! order regardless, and every consumer reduces sequentially in that
+//! order. Worker count and scheduling can never change a result.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// An owning unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A long-lived pool of shard workers. Dropping the pool closes the job
+/// channel and joins every worker.
+#[derive(Debug)]
+pub struct ShardPool {
+    /// Job injector; `None` only during drop (closing it stops workers).
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns a pool of `workers` threads (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("shard-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `jobs` closures on the pool and collects their results **in
+    /// job-index order** (independent of which worker ran what, or
+    /// when). Blocks until every job has reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked on a worker (the panic is contained
+    /// worker-side so remaining jobs still run, then re-raised here).
+    pub fn scatter<R, F>(&self, jobs: usize, mut make_job: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnMut(usize) -> Box<dyn FnOnce() -> R + Send + 'static>,
+    {
+        let sender = self.sender.as_ref().expect("pool is live");
+        let (result_tx, result_rx) = channel::<(usize, R)>();
+        for i in 0..jobs {
+            let job = make_job(i);
+            let result_tx = result_tx.clone();
+            sender
+                .send(Box::new(move || {
+                    let r = job();
+                    // A receiver that hung up means the caller already
+                    // panicked; nothing useful left to report.
+                    let _ = result_tx.send((i, r));
+                }))
+                .expect("pool workers are joined only on drop");
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+        for _ in 0..jobs {
+            match result_rx.recv() {
+                Ok((i, r)) => slots[i] = Some(r),
+                // Every sender clone lives inside a job; disconnection
+                // before `jobs` results means a job died mid-flight.
+                Err(_) => panic!("shard pool job panicked"),
+            }
+        }
+        slots.into_iter().map(|r| r.expect("each job reports exactly once")).collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.sender = None;
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a job already aborted its
+            // loop; drop must not double-panic.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only to receive: the job itself runs unlocked,
+        // so one long chunk never blocks the other workers' pickup.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            // Contain job panics so the pool survives and `scatter` can
+            // report the failure from the calling thread instead of
+            // deadlocking on a missing result.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Err(_) => return,
+        }
+    }
+}
+
+/// CPU cores available to this process (1 when the probe fails) — the
+/// single source for [`resolve_workers`] and for the `cores` column of
+/// the bench records, so what gets recorded is exactly what requests
+/// were clamped against.
+#[must_use]
+pub fn cores() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolves a requested worker count against the machine and the job
+/// count: `0` means one worker per available core, and explicit requests
+/// are clamped to the core count — oversubscribing a CPU-bound shard
+/// phase only adds scheduling overhead (on a 1-core container, `-t 4`
+/// used to triple deploy cost per node against `-t 1`). The result is
+/// further clamped to `[1, jobs]`.
+#[must_use]
+pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let cores = cores();
+    let workers = if requested == 0 { cores } else { requested.min(cores) };
+    workers.clamp(1, jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_returns_results_in_job_order() {
+        let pool = ShardPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let results = pool.scatter(16, |i| Box::new(move || i * 10));
+        assert_eq!(results, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ShardPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for batch in 0..5 {
+            let counter = Arc::clone(&counter);
+            let results = pool.scatter(3, move |i| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    batch * 3 + i
+                })
+            });
+            assert_eq!(results, vec![batch * 3, batch * 3 + 1, batch * 3 + 2]);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes_many_jobs() {
+        let pool = ShardPool::new(1);
+        let results = pool.scatter(8, |i| Box::new(move || i));
+        assert_eq!(results.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard pool job panicked")]
+    fn job_panics_propagate_to_the_caller() {
+        let pool = ShardPool::new(2);
+        let _ = pool.scatter(4, |i| {
+            Box::new(move || {
+                assert!(i != 2, "job 2 dies");
+                i
+            })
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        let pool = ShardPool::new(1);
+        let died = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.scatter(1, |_| Box::new(|| panic!("boom")));
+        }));
+        assert!(died.is_err());
+        // The worker contained the panic: the pool still works.
+        let results: Vec<usize> = pool.scatter(2, |i| Box::new(move || i + 1));
+        assert_eq!(results, vec![1, 2]);
+    }
+
+    #[test]
+    fn resolve_workers_clamps_to_cores_and_jobs() {
+        let cores = cores();
+        assert!(cores >= 1);
+        assert_eq!(resolve_workers(0, 1_000_000), cores, "0 means one per core");
+        assert_eq!(resolve_workers(10_000, 1_000_000), cores, "requests clamp to cores");
+        assert_eq!(resolve_workers(1, 8), 1);
+        assert_eq!(resolve_workers(0, 0), 1, "degenerate job counts still get a worker");
+        assert!(resolve_workers(64, 3) <= 3, "never more workers than jobs");
+    }
+}

@@ -92,9 +92,19 @@ impl Scheduler {
         (1.0 / (1.0 + per_core / 3.0)).clamp(0.0, 1.0)
     }
 
-    /// Full placement: the feasible node with the highest weight.
+    /// Full placement by linear scan: the feasible node with the highest
+    /// `(score, NodeId)` — ties between equal-score nodes break towards
+    /// the **higher** node id, explicitly.
+    ///
+    /// The tie-break used to be implicit: `max_by` keeps the *last*
+    /// maximum, so equal-score nodes resolved by whatever order the
+    /// iterator happened to visit them in. Index-ordered scans made that
+    /// look deterministic, but any re-ordered iterator (or an indexed
+    /// scan) would silently pick a different node. The explicit ordering
+    /// is what [`crate::index::PlacementIndex`] reproduces, so the
+    /// indexed fast path and this reference scan are byte-comparable.
     #[must_use]
-    pub fn place<'a>(
+    pub fn place_linear<'a>(
         &self,
         nodes: impl Iterator<Item = &'a ManagedNode>,
         config: &VmConfig,
@@ -102,9 +112,11 @@ impl Scheduler {
     ) -> Option<crate::node::NodeId> {
         nodes
             .filter(|n| self.filter(n, config, class))
-            .map(|n| (n.id, self.weigh(n)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
-            .map(|(id, _)| id)
+            .map(|n| (self.weigh(n), n.id))
+            .max_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("weights are finite").then_with(|| a.1.cmp(&b.1))
+            })
+            .map(|(_, id)| id)
     }
 }
 
@@ -130,7 +142,7 @@ mod tests {
         ns[1].reliability = 0.2;
         let s = Scheduler::default();
         let chosen = s
-            .place(ns.iter(), &uniserver_hypervisor::vm::VmConfig::ldbc_benchmark(), SlaClass::Gold)
+            .place_linear(ns.iter(), &uniserver_hypervisor::vm::VmConfig::ldbc_benchmark(), SlaClass::Gold)
             .expect("a node fits");
         assert_eq!(chosen, NodeId(2));
     }
@@ -141,8 +153,8 @@ mod tests {
         ns[0].reliability = 0.5;
         let s = Scheduler::default();
         let cfg = uniserver_hypervisor::vm::VmConfig::idle_guest();
-        assert!(s.place(ns.iter(), &cfg, SlaClass::Gold).is_none());
-        assert!(s.place(ns.iter(), &cfg, SlaClass::Bronze).is_some());
+        assert!(s.place_linear(ns.iter(), &cfg, SlaClass::Gold).is_none());
+        assert!(s.place_linear(ns.iter(), &cfg, SlaClass::Bronze).is_some());
     }
 
     #[test]
@@ -152,10 +164,10 @@ mod tests {
         let blind = Scheduler::new(SchedulerWeights::reliability_blind());
         let aware = Scheduler::new(SchedulerWeights::balanced());
         let cfg = uniserver_hypervisor::vm::VmConfig::idle_guest();
-        // The blind scheduler sees two identical nodes and picks the max —
-        // which, tie-broken by max_by on equal weights, is a fixed one;
-        // the aware scheduler must pick the reliable node 1.
-        assert_eq!(aware.place(ns.iter(), &cfg, SlaClass::Bronze), Some(NodeId(1)));
+        // The blind scheduler sees two identical nodes and picks the max
+        // — tie-broken explicitly towards the higher NodeId; the aware
+        // scheduler must pick the reliable node 1.
+        assert_eq!(aware.place_linear(ns.iter(), &cfg, SlaClass::Bronze), Some(NodeId(1)));
         let w0 = blind.weigh(&ns[0]);
         let w1 = blind.weigh(&ns[1]);
         assert!((w0 - w1).abs() < 1e-12, "blind weights must tie: {w0} vs {w1}");
@@ -192,7 +204,25 @@ mod tests {
         for class in [SlaClass::Gold, SlaClass::Silver, SlaClass::Bronze] {
             assert!(!s.filter(&ns[0], &cfg, class), "{class} must reject the node");
         }
-        assert!(s.place(ns.iter(), &cfg, SlaClass::Bronze).is_none());
+        assert!(s.place_linear(ns.iter(), &cfg, SlaClass::Bronze).is_none());
+    }
+
+    #[test]
+    fn equal_score_ties_break_by_node_id_not_scan_order() {
+        // Three identical fresh nodes tie exactly (same part, zero
+        // utilization, pristine reliability): the winner must be the
+        // highest NodeId no matter how the iterator orders the rack.
+        // (The old `max_by`-only scan returned the *last* maximum, so a
+        // reversed iterator silently flipped the pick to NodeId(0).)
+        let ns = nodes(3);
+        let s = Scheduler::default();
+        let cfg = uniserver_hypervisor::vm::VmConfig::idle_guest();
+        let w: Vec<f64> = ns.iter().map(|n| s.weigh(n)).collect();
+        assert!(w.iter().all(|&x| x == w[0]), "fresh same-part nodes must tie: {w:?}");
+        let forward = s.place_linear(ns.iter(), &cfg, SlaClass::Gold);
+        let reversed = s.place_linear(ns.iter().rev(), &cfg, SlaClass::Gold);
+        assert_eq!(forward, Some(NodeId(2)), "ties break towards the higher id");
+        assert_eq!(forward, reversed, "scan order must not change the winner");
     }
 
     #[test]
@@ -203,7 +233,7 @@ mod tests {
         }
         let s = Scheduler::default();
         assert!(s
-            .place(ns.iter(), &uniserver_hypervisor::vm::VmConfig::ldbc_benchmark(), SlaClass::Bronze)
+            .place_linear(ns.iter(), &uniserver_hypervisor::vm::VmConfig::ldbc_benchmark(), SlaClass::Bronze)
             .is_none());
     }
 }

@@ -49,6 +49,11 @@ impl Default for ThresholdPolicy {
 #[derive(Debug, Clone)]
 pub struct HealthLog {
     vectors: VecDeque<InfoVector>,
+    /// Corrected-error count per retained vector (same order as
+    /// `vectors`): the CE-rate service polls this every ingest, and
+    /// re-counting a CE-storm vector's thousands of error records each
+    /// time is the difference between O(window) and O(window × errors).
+    corrected_counts: VecDeque<usize>,
     capacity: usize,
     ledger: ErrorLedger,
     policy: ThresholdPolicy,
@@ -69,6 +74,7 @@ impl HealthLog {
         assert!(capacity > 0, "HealthLog needs capacity");
         HealthLog {
             vectors: VecDeque::with_capacity(capacity),
+            corrected_counts: VecDeque::with_capacity(capacity),
             capacity,
             ledger: ErrorLedger::new(),
             policy,
@@ -87,7 +93,17 @@ impl HealthLog {
     /// logfile line and update the ledger. Returns recommended actions
     /// (possibly empty).
     pub fn ingest(&mut self, report: &IntervalReport) -> Vec<HealthAction> {
-        let vector = InfoVector::from_report(report);
+        self.ingest_owned(report.clone())
+    }
+
+    /// [`HealthLog::ingest`] taking the report by value: the vector is
+    /// built by *moving* the report's sensor sweep, counters and error
+    /// records instead of cloning them — the serving loop's hypervisor
+    /// is done with the report once the HealthLog has it, so the per-
+    /// tick clone of (potentially thousands of) error records was pure
+    /// overhead.
+    pub fn ingest_owned(&mut self, report: IntervalReport) -> Vec<HealthAction> {
+        let vector = InfoVector::from_owned_report(report);
         for err in &vector.errors {
             self.ledger.record(err);
         }
@@ -96,7 +112,9 @@ impl HealthLog {
         }
         if self.vectors.len() == self.capacity {
             self.vectors.pop_front();
+            self.corrected_counts.pop_front();
         }
+        self.corrected_counts.push_back(vector.corrected_count());
         self.vectors.push_back(vector);
         self.recommendations()
     }
@@ -146,9 +164,11 @@ impl HealthLog {
         let from = latest.at.saturating_sub(self.policy.rate_window);
         let mut ces = 0usize;
         let mut span = 0.0;
-        for v in self.vectors.iter().filter(|v| v.at > from) {
-            ces += v.corrected_count();
-            span += v.duration.as_secs();
+        for (v, &vector_ces) in self.vectors.iter().zip(&self.corrected_counts) {
+            if v.at > from {
+                ces += vector_ces;
+                span += v.duration.as_secs();
+            }
         }
         if span == 0.0 {
             0.0

@@ -44,6 +44,16 @@ impl InfoVector {
     /// Builds a vector from a platform interval report.
     #[must_use]
     pub fn from_report(report: &IntervalReport) -> Self {
+        Self::from_owned_report(report.clone())
+    }
+
+    /// Builds a vector by consuming the report: sensors, counters and
+    /// error records move in (no clones — at CE-storm rates the error
+    /// vector alone is thousands of records per interval). Only the
+    /// per-core voltages are copied, because both the configuration
+    /// values and the sensor sweep carry them.
+    #[must_use]
+    pub fn from_owned_report(report: IntervalReport) -> Self {
         InfoVector {
             at: report.at,
             duration: report.duration,
@@ -51,9 +61,9 @@ impl InfoVector {
                 core_voltages: report.sensors.core_voltages.clone(),
                 node_power: report.power,
             },
-            sensors: report.sensors.clone(),
-            counters: report.pmu_deltas.clone(),
-            errors: report.errors.clone(),
+            sensors: report.sensors,
+            counters: report.pmu_deltas,
+            errors: report.errors,
             crashed: report.crash.is_some(),
         }
     }
@@ -77,10 +87,17 @@ impl InfoVector {
     }
 
     /// Renders the vector as one logfile line (the "system logfile" of
-    /// §3.C): stable, grep-friendly key=value text.
+    /// §3.C): stable, grep-friendly key=value text. Writes into one
+    /// buffer (no per-field temporaries — a CE-storm line carries one
+    /// `err[...]` tag per record, and this renders on the serving hot
+    /// path every event tick).
     #[must_use]
     pub fn render_logline(&self) -> String {
-        let mut line = format!(
+        use std::fmt::Write as _;
+
+        let mut line = String::with_capacity(96 + 16 * self.errors.len());
+        write!(
+            line,
             "t={:.3} dur={:.3} power_w={:.2} ce={} ue={} crashed={}",
             self.at.as_secs(),
             self.duration.as_secs(),
@@ -88,13 +105,15 @@ impl InfoVector {
             self.corrected_count(),
             self.uncorrected_count(),
             self.crashed,
-        );
+        )
+        .expect("writing to a String cannot fail");
         for (i, v) in self.config.core_voltages.iter().enumerate() {
-            line.push_str(&format!(" v{}={:.0}mV", i, v.as_millivolts()));
+            write!(line, " v{}={:.0}mV", i, v.as_millivolts()).expect("infallible");
         }
-        line.push_str(&format!(" tmax={:.1}C", self.sensors.max_core_temp().as_celsius()));
+        write!(line, " tmax={:.1}C", self.sensors.max_core_temp().as_celsius())
+            .expect("infallible");
         for e in &self.errors {
-            line.push_str(&format!(" err[{}@{}]", e.severity.label(), e.origin));
+            write!(line, " err[{}@{}]", e.severity.label(), e.origin).expect("infallible");
         }
         line
     }

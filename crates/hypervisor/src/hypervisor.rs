@@ -340,7 +340,6 @@ impl Hypervisor {
         }
         let workload = self.merged_cache.clone().expect("cache populated above");
         let report = self.node.run_interval(&workload, duration);
-        let actions = self.health.ingest(&report);
 
         let mut outcome = TickOutcome {
             at: report.at,
@@ -355,6 +354,7 @@ impl Hypervisor {
             power: report.power,
             energy: report.energy,
         };
+        let crashed = report.crash.is_some();
 
         // --- Error masking and containment (`running` still reflects
         // the start-of-tick set: run_interval cannot change VM states).
@@ -388,6 +388,14 @@ impl Hypervisor {
             }
         }
 
+        // --- HealthLog ingest, by value: the containment pass above was
+        // the last reader, so the sensor sweep, PMU deltas and (at CE-
+        // storm rates, thousands of) error records move into the vector
+        // instead of being cloned. Ingest ordering relative to the
+        // containment pass is immaterial — the HealthLog never touches
+        // VM or memory state, and containment never touches the log.
+        let actions = self.health.ingest_owned(report);
+
         // --- HealthLog recommendations: isolation & re-characterization.
         for action in actions {
             match action {
@@ -409,7 +417,7 @@ impl Hypervisor {
         }
 
         // --- Crash recovery: reboot, restart every VM, charge downtime.
-        if report.crash.is_some() {
+        if crashed {
             outcome.node_crashed = true;
             outcome.crash_events = self.node.take_crash_events();
             self.crashes += 1;

@@ -44,10 +44,17 @@ pub struct OrchestratorConfig {
     /// Simulation tick (arrival batches are drawn per tick).
     pub tick: Seconds,
     /// Worker threads for deploy **and** the serving loop's sharded
-    /// per-node phase; 0 = one per available core. Placement decisions
-    /// and all reduces stay sequential in node-index order, so thread
-    /// count can never change a summary.
+    /// per-node phase; 0 = one per available core, and explicit counts
+    /// are clamped to the available cores (oversubscribing a CPU-bound
+    /// phase only adds scheduling overhead). One persistent pool serves
+    /// deploy and every tick. Placement decisions and all reduces stay
+    /// sequential in node-index order, so thread count can never change
+    /// a summary.
     pub threads: usize,
+    /// Route placement through [`uniserver_cloudmgr::Scheduler::place_linear`]
+    /// instead of the incremental index — the reference path CI
+    /// byte-diffs the index against. Defaults to `false` (indexed).
+    pub linear_placement: bool,
     /// The VM arrival process.
     pub stream: VmStream,
     /// Per-node deployment template (stress params, optimizer, base
@@ -88,6 +95,7 @@ impl OrchestratorConfig {
             horizon: Seconds::new(3_600.0),
             tick: Seconds::new(5.0),
             threads: 0,
+            linear_placement: false,
             stream: VmStream::datacenter(),
             deployment: DeploymentConfig {
                 guests: vec![VmConfig::ldbc_benchmark()],

@@ -10,12 +10,12 @@
 //! cache is pre-trained per part before workers spawn. Any worker count
 //! produces the identical cluster.
 
-use std::num::NonZeroUsize;
-use std::thread;
+use std::sync::Arc;
 use std::time::Instant;
 
 use uniserver_cloudmgr::cluster::Cluster;
 use uniserver_cloudmgr::node::{ManagedNode, NodeId};
+use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
 use uniserver_core::ecosystem::{provision_node, DeploymentConfig};
 use uniserver_core::eop::OperatingPoint;
 use uniserver_core::training::AdvisorCache;
@@ -88,26 +88,47 @@ fn deploy_one(config: &OrchestratorConfig, cache: &AdvisorCache, node: usize) ->
     (managed, record)
 }
 
-/// Deploys the whole rack in parallel. Returns the assembled cluster,
-/// the per-node deploy records (ordered by node index), the summed
-/// per-node deploy wall-clock in seconds, and the worker count used.
+/// Deploys the whole rack in parallel on a transient pool sized by
+/// [`resolve_workers`]. Returns the assembled cluster, the per-node
+/// deploy records (ordered by node index), the summed per-node deploy
+/// wall-clock in seconds, and the worker count used.
+///
+/// Per-run callers (the serving loop) should create one [`ShardPool`]
+/// and use [`deploy_cluster_on`] so the same workers serve every tick.
 ///
 /// # Panics
 ///
 /// Panics if the cluster has zero nodes or a worker panics.
 #[must_use]
 pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode>, f64, usize) {
+    let pool = ShardPool::new(resolve_workers(config.threads, config.cluster.nodes));
+    let (cluster, records, secs) = deploy_cluster_on(config, &pool);
+    (cluster, records, secs, pool.workers())
+}
+
+/// Deploys the whole rack on an existing [`ShardPool`] — the
+/// orchestrator's entry point, reusing the run's persistent workers.
+///
+/// The pool's threads are long-lived, so jobs own their inputs: the
+/// scenario configuration and the pre-trained advisor cache ride `Arc`s
+/// into one contiguous node-index range per worker, and results
+/// reassemble in job-index order — any worker count produces the
+/// identical cluster.
+///
+/// # Panics
+///
+/// Panics if the cluster has zero nodes or a worker panics.
+#[must_use]
+pub fn deploy_cluster_on(
+    config: &OrchestratorConfig,
+    pool: &ShardPool,
+) -> (Cluster, Vec<DeployedNode>, f64) {
     let nodes = config.cluster.nodes;
     assert!(nodes > 0, "a cluster needs nodes");
-    let workers = if config.threads == 0 {
-        thread::available_parallelism().map_or(1, NonZeroUsize::get)
-    } else {
-        config.threads
-    }
-    .min(nodes);
+    let workers = pool.workers().min(nodes);
 
     // Pre-train every part of the mix so workers only ever hit the cache.
-    let cache = AdvisorCache::new();
+    let cache = Arc::new(AdvisorCache::new());
     if config.margins == MarginPolicy::Extended {
         for part in &config.cluster.part_mix {
             let dep = DeploymentConfig { spec: part.spec.clone(), ..config.deployment.clone() };
@@ -116,41 +137,35 @@ pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode
     }
 
     let chunk = nodes.div_ceil(workers);
-    let (mut deployed, deploy_secs): (Vec<(ManagedNode, DeployedNode)>, f64) =
-        thread::scope(|scope| {
-            let cache = &cache;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let lo = (w * chunk).min(nodes);
-                    let hi = ((w + 1) * chunk).min(nodes);
-                    scope.spawn(move || {
-                        let start = Instant::now();
-                        let out: Vec<_> =
-                            (lo..hi).map(|n| deploy_one(config, cache, n)).collect();
-                        (out, start.elapsed().as_secs_f64())
-                    })
-                })
-                .collect();
-            let mut all = Vec::with_capacity(nodes);
-            let mut secs = 0.0;
-            for h in handles {
-                let (chunk_out, chunk_secs) = h.join().expect("deploy worker panicked");
-                all.extend(chunk_out);
-                secs += chunk_secs;
-            }
-            (all, secs)
-        });
-    deployed.sort_by_key(|(_, rec)| rec.node);
+    let jobs = nodes.div_ceil(chunk);
+    let shared_config = Arc::new(config.clone());
+    let results = pool.scatter(jobs, |w| {
+        let lo = (w * chunk).min(nodes);
+        let hi = ((w + 1) * chunk).min(nodes);
+        let config = Arc::clone(&shared_config);
+        let cache = Arc::clone(&cache);
+        Box::new(move || {
+            let start = Instant::now();
+            let out: Vec<_> = (lo..hi).map(|n| deploy_one(&config, &cache, n)).collect();
+            (out, start.elapsed().as_secs_f64())
+        })
+    });
 
     let mut managed = Vec::with_capacity(nodes);
     let mut records = Vec::with_capacity(nodes);
-    for (m, r) in deployed {
-        managed.push(m);
-        records.push(r);
+    let mut deploy_secs = 0.0;
+    // Job-index order == node-index order (contiguous ranges).
+    for (chunk_out, chunk_secs) in results {
+        for (m, r) in chunk_out {
+            managed.push(m);
+            records.push(r);
+        }
+        deploy_secs += chunk_secs;
     }
-    let cluster =
+    let mut cluster =
         Cluster::from_nodes(managed, config.cluster.scheduler, config.cluster.migration);
-    (cluster, records, deploy_secs, workers)
+    cluster.set_linear_placement(config.linear_placement);
+    (cluster, records, deploy_secs)
 }
 
 #[cfg(test)]
@@ -159,14 +174,31 @@ mod tests {
 
     #[test]
     fn deploy_is_worker_count_independent() {
+        use uniserver_cloudmgr::pool::resolve_workers;
+
         let mut config = OrchestratorConfig::smoke(6, 11);
         config.threads = 1;
         let (_, seq, _, w1) = deploy_cluster(&config);
         config.threads = 3;
         let (_, par, _, w3) = deploy_cluster(&config);
         assert_eq!(w1, 1);
-        assert_eq!(w3, 3);
+        // Requests are clamped to the machine's cores (oversubscription
+        // buys nothing), so the resolved count is machine-dependent.
+        assert_eq!(w3, resolve_workers(3, 6));
         assert_eq!(seq, par, "worker count must not perturb any node");
+    }
+
+    #[test]
+    fn deploy_on_a_shared_pool_matches_the_transient_path() {
+        let config = OrchestratorConfig::smoke(5, 23);
+        let (_, transient, _, _) = deploy_cluster(&config);
+        let pool = ShardPool::new(2);
+        let (cluster, pooled, secs) = deploy_cluster_on(&config, &pool);
+        assert_eq!(transient, pooled, "pool reuse must not perturb any node");
+        assert_eq!(cluster.nodes().len(), 5);
+        assert!(secs > 0.0);
+        // The pool survives deploy and stays usable for the serve phase.
+        assert_eq!(pool.scatter(2, |i| Box::new(move || i)), vec![0, 1]);
     }
 
     #[test]

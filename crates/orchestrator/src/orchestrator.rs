@@ -8,7 +8,8 @@
 //! 2. draw this tick's VM arrival batch from its seeded sub-stream and
 //!    offer it to the energy/SLA-aware scheduler;
 //! 3. advance every node's hypervisor one tick — **sharded across the
-//!    run's worker threads** (`Cluster::tick_sharded`), with energy,
+//!    run's persistent worker pool** (`Cluster::tick_pooled`; the same
+//!    threads that deployed the rack serve every tick), with energy,
 //!    crash events and predictor scores reduced sequentially in
 //!    node-index order;
 //! 4. for every crashed node (deduplicated: several same-tick crash
@@ -30,10 +31,11 @@
 
 use std::time::Instant;
 
+use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
 use uniserver_units::Seconds;
 
 use crate::config::{MarginPolicy, OrchestratorConfig};
-use crate::deploy::deploy_cluster;
+use crate::deploy::deploy_cluster_on;
 use crate::events::{Event, EventQueue};
 use crate::serve::{class_idx, ServeCounters};
 use crate::summary::{
@@ -61,7 +63,12 @@ pub fn run(config: &OrchestratorConfig) -> ClusterSummary {
 pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTiming) {
     let ticks = config.ticks();
     let wall_start = Instant::now();
-    let (mut cluster, records, deploy_secs, workers) = deploy_cluster(config);
+    // One persistent worker pool for the whole run: the parallel deploy
+    // and all ~720 sharded ticks reuse the same threads instead of
+    // paying a `thread::scope` spawn per tick.
+    let workers = resolve_workers(config.threads, config.cluster.nodes);
+    let pool = ShardPool::new(workers);
+    let (mut cluster, records, deploy_secs) = deploy_cluster_on(config, &pool);
     let mut points: Vec<_> = records.iter().map(|r| r.point.clone()).collect();
     // Part-mix index per node, resolved once for crash attribution.
     let node_parts: Vec<Option<usize>> = records
@@ -107,8 +114,8 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             }
         }
 
-        // --- 3. Advance the fleet, sharded across the run's workers.
-        let report = cluster.tick_sharded(step, workers);
+        // --- 3. Advance the fleet, sharded across the run's pool.
+        let report = cluster.tick_pooled(step, &pool);
         c.energy_j += report.energy.as_joules();
         let mut t_migrations = report.proactive_migrations;
         let tick_end = now + step;
@@ -218,6 +225,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         nodes: config.cluster.nodes,
         arrivals: c.offered,
         workers,
+        cores: uniserver_cloudmgr::pool::cores(),
     };
     (summary, timing)
 }

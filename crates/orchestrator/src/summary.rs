@@ -124,8 +124,14 @@ pub struct OrchestratorTiming {
     pub nodes: usize,
     /// VM arrivals driven.
     pub arrivals: u64,
-    /// Deploy workers used.
+    /// Worker threads used for deploy and the sharded serving loop (the
+    /// resolved count: `threads: 0` means one per core, and explicit
+    /// requests clamp to the core count).
     pub workers: usize,
+    /// CPU cores available on the benching machine — recorded so a
+    /// wall-clock from a single-core container is never mistaken for a
+    /// multi-worker regression.
+    pub cores: usize,
 }
 
 /// Nominal-vs-extended comparison off one seed: the first end-to-end
