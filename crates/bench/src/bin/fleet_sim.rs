@@ -18,8 +18,9 @@
 //!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
 //!           [--no-per-node]
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
-//!           [--threads K] [--nominal] [--place linear|indexed]
-//!           [--bench PATH] [--label NAME] [--no-per-tick]
+//!           [--threads K] [--nominal] [--profile flat|flash]
+//!           [--place linear|indexed] [--bench PATH] [--label NAME]
+//!           [--no-per-tick]
 //! ```
 //!
 //! * `--mixed` (fleet mode) deploys the heterogeneous reference fleet
@@ -30,6 +31,12 @@
 //! * `--nominal` (cluster mode) runs the rack at conservative
 //!   guard-bands instead of Extended Operating Points — the ablation
 //!   baseline for energy/SLA comparisons.
+//! * `--profile flash` (cluster mode) swaps the default flat arrival
+//!   stream for the traffic engine's flash-crowd scenario:
+//!   capacity-scaled arrivals, diurnal modulation, seeded burst epochs,
+//!   bounded-Pareto lifetimes, and gold-priority re-admission of
+//!   rejected arrivals. `--profile flat` is the default and reproduces
+//!   the legacy stream byte-for-byte.
 //! * `--place linear` (cluster mode) routes placement through the
 //!   reference `Scheduler::place_linear` scan instead of the default
 //!   incremental index — the two are equivalent by construction, and CI
@@ -71,6 +78,9 @@ struct Args {
     mixed: bool,
     baseline: bool,
     nominal: bool,
+    /// `Some(true)` = flash, `Some(false)` = flat; `None` = flag absent
+    /// (so fleet mode can reject *any* `--profile`).
+    flash_profile: Option<bool>,
     /// `Some(true)` = linear, `Some(false)` = indexed; `None` = flag
     /// absent (so fleet mode can reject *any* `--place`, not just
     /// `--place linear`).
@@ -93,6 +103,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         mixed: false,
         baseline: false,
         nominal: false,
+        flash_profile: None,
         linear_place: None,
         bench: None,
         label: None,
@@ -121,6 +132,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--mixed" => args.mixed = true,
             "--baseline" => args.baseline = true,
             "--nominal" => args.nominal = true,
+            "--profile" => {
+                args.flash_profile = Some(match value("--profile")?.as_str() {
+                    "flash" => true,
+                    "flat" => false,
+                    other => return Err(format!("--profile must be flat or flash, got '{other}'")),
+                });
+            }
             "--place" => {
                 args.linear_place = Some(match value("--place")?.as_str() {
                     "linear" => true,
@@ -162,6 +180,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         if args.linear_place.is_some() {
             return Err("--place requires --cluster (fleet mode has no scheduler)".into());
         }
+        if args.flash_profile.is_some() {
+            return Err("--profile requires --cluster (fleet mode has no arrival stream)".into());
+        }
         if args.tick.is_some() {
             return Err("--tick requires --cluster (fleet mode uses a fixed 1 s tick)".into());
         }
@@ -177,8 +198,8 @@ fn usage() {
         "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
-         [--threads K] [--nominal] [--place linear|indexed] [--bench PATH] \
-         [--label NAME] [--no-per-tick]"
+         [--threads K] [--nominal] [--profile flat|flash] [--place linear|indexed] \
+         [--bench PATH] [--label NAME] [--no-per-tick]"
     );
 }
 
@@ -197,7 +218,12 @@ fn append_bench(path: &str, line: &str) -> ExitCode {
 
 fn run_cluster(args: Args) -> ExitCode {
     let nodes = args.nodes.unwrap_or(256);
-    let mut config = OrchestratorConfig::datacenter(nodes, args.seed);
+    let flash = args.flash_profile.unwrap_or(false);
+    let mut config = if flash {
+        OrchestratorConfig::flash_crowd(nodes, args.seed)
+    } else {
+        OrchestratorConfig::datacenter(nodes, args.seed)
+    };
     if let Some(secs) = args.secs {
         config.horizon = Seconds::new(secs);
     }
@@ -214,7 +240,10 @@ fn run_cluster(args: Args) -> ExitCode {
     println!("{}", summary_to_json(&summary, args.per_tick));
 
     if let Some(path) = args.bench {
-        let label = args.label.unwrap_or_else(|| format!("cluster-{}", summary.margins));
+        let label = args.label.unwrap_or_else(|| {
+            let profile = if flash { "-flash" } else { "" };
+            format!("cluster{profile}-{}", summary.margins)
+        });
         return append_bench(&path, &bench_record(&summary, &timing, &label));
     }
     ExitCode::SUCCESS

@@ -26,6 +26,8 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
     w.field_u64("offered", s.offered);
     w.field_u64("placed", s.placed);
     w.field_u64("rejected", s.rejected);
+    w.field_u64("retried", s.retried);
+    w.field_u64("abandoned", s.abandoned);
     w.field_u64("completed", s.completed);
     w.field_u64("evicted", s.evicted);
     w.field_u64("live_at_end", s.live_at_end);
@@ -47,6 +49,8 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
         cw.field_u64("offered", c.offered);
         cw.field_u64("placed", c.placed);
         cw.field_u64("rejected", c.rejected);
+        cw.field_u64("retried", c.retried);
+        cw.field_u64("abandoned", c.abandoned);
         cw.field_u64("violations", c.violations);
         out.push_str(&cw.finish());
     });
@@ -76,7 +80,9 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
 }
 
 /// The full `BENCH_cluster.json` record: the run's headline outcome
-/// (margins, fleet energy, crash count) plus the timing columns —
+/// (margins, fleet energy, crash count, admission accounting — total
+/// and per class, so a flash-crowd row shows who got retried and who
+/// got abandoned) plus the timing columns —
 /// `threads` is the worker count used for deploy *and* the sharded
 /// serving loop, `cores` the machine's available parallelism (so a
 /// single-core container's wall-clocks read as what they are), and
@@ -90,6 +96,20 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
     w.field_str("margins", &s.margins);
     w.field_f64("energy_j", s.energy_j);
     w.field_u64("crashes", s.crashes);
+    w.field_u64("offered", s.offered);
+    w.field_u64("placed", s.placed);
+    w.field_u64("retried", s.retried);
+    w.field_u64("abandoned", s.abandoned);
+    let class_names = ["gold", "silver", "bronze"];
+    w.field_array("per_class", s.per_class.iter().enumerate(), |(i, c), out| {
+        let mut cw = JsonWriter::object();
+        cw.field_str("class", class_names[i]);
+        cw.field_u64("offered", c.offered);
+        cw.field_u64("placed", c.placed);
+        cw.field_u64("retried", c.retried);
+        cw.field_u64("abandoned", c.abandoned);
+        out.push_str(&cw.finish());
+    });
     w.field_u64("nodes", t.nodes as u64);
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
@@ -130,6 +150,10 @@ mod tests {
             "\"margins\":\"extended\"",
             "\"energy_j\":",
             "\"crashes\":",
+            "\"offered\":",
+            "\"retried\":",
+            "\"abandoned\":",
+            "\"per_class\":[{\"class\":\"gold\"",
             "\"nodes\":2",
             "\"arrivals\":",
             "\"cores\":",

@@ -37,6 +37,10 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         &["--place", "indexed"][..],
         &["--cluster", "--place"][..],
         &["--cluster", "--place", "bogus"][..],
+        &["--profile", "flash"][..],
+        &["--profile", "flat"][..],
+        &["--cluster", "--profile"][..],
+        &["--cluster", "--profile", "bogus"][..],
     ] {
         let out = fleet_sim(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -77,6 +81,31 @@ fn cluster_mode_is_byte_stable_across_thread_counts() {
     let json = String::from_utf8_lossy(&one.stdout);
     assert!(json.contains("\"margins\":\"extended\""));
     assert!(json.contains("\"per_tick\":["));
+}
+
+#[test]
+fn flash_profile_is_byte_stable_and_reports_admission_counters() {
+    let base = &["--cluster", "--profile", "flash", "--nodes", "8", "--secs", "120", "--seed", "7"];
+    let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
+    assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
+    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "flash-crowd summaries must be byte-identical");
+    let json = String::from_utf8_lossy(&one.stdout);
+    assert!(json.contains("\"retried\":"), "flash summaries report admission counters: {json}");
+    assert!(json.contains("\"abandoned\":"));
+}
+
+#[test]
+fn flat_profile_flag_is_the_default_stream() {
+    // `--profile flat` must be a no-op spelling of the default, so the
+    // legacy rows keep reproducing when the flag is passed explicitly.
+    let base = &["--cluster", "--nodes", "6", "--secs", "60", "--seed", "11"];
+    let implicit = fleet_sim(base);
+    assert!(implicit.status.success());
+    let explicit = fleet_sim(&[base, &["--profile", "flat"][..]].concat());
+    assert!(explicit.status.success());
+    assert_eq!(implicit.stdout, explicit.stdout);
 }
 
 #[test]

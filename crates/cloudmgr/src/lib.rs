@@ -15,7 +15,8 @@
 //! * [`scheduler`] — Nova-style filter + weigher placement;
 //! * [`failure`] — log-pattern failure prediction (refs [21][24]);
 //! * [`migrate`] — live-migration cost model;
-//! * [`stream`] — Poisson arrival/departure streams of VMs;
+//! * [`stream`] — the traffic engine: capacity-scaled, diurnal and
+//!   flash-crowd-modulated arrival/departure streams of VMs;
 //! * [`cluster`] — the cluster driver: VM streams, proactive
 //!   migration, fleet metrics.
 //!
@@ -53,4 +54,7 @@ pub use node::{ManagedNode, NodeId, NodeMetrics};
 pub use pool::{cores, resolve_workers, ShardPool};
 pub use scheduler::{Scheduler, SchedulerWeights};
 pub use sla::SlaClass;
-pub use stream::{arrival_seed, Arrival, StreamDriver, VmStream};
+pub use stream::{
+    arrival_seed, Arrival, FlashCrowds, LifetimeModel, Modulation, StreamDriver, TrafficShape,
+    VmStream,
+};

@@ -31,6 +31,39 @@ impl MarginPolicy {
     }
 }
 
+/// Admission control: what happens to an arrival the scheduler rejects.
+///
+/// Rejections used to vanish — gold included. With a non-zero budget a
+/// rejected arrival enters a bounded per-class FIFO and is re-offered at
+/// the start of each subsequent tick (gold first, into capacity that
+/// departures and crash recovery just freed); it is counted `abandoned`
+/// only once its budget is exhausted, the queue overflows, or the
+/// horizon ends with it still waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Re-offer attempts granted per class (gold, silver, bronze order)
+    /// before a rejection is abandoned. 0 = legacy drop-on-rejection.
+    pub retry_budget: [u32; 3],
+    /// Bound of each class's retry queue; overflow abandons immediately.
+    pub queue_depth: usize,
+}
+
+impl AdmissionPolicy {
+    /// The legacy policy: every rejection is dropped (abandoned)
+    /// immediately. The default, so prior flat-stream runs reproduce.
+    #[must_use]
+    pub fn drop_all() -> Self {
+        AdmissionPolicy { retry_budget: [0, 0, 0], queue_depth: 0 }
+    }
+
+    /// Premium-class re-admission: gold rejections retry up to 4 ticks,
+    /// silver 2, bronze stays best-effort drop.
+    #[must_use]
+    pub fn gold_priority() -> Self {
+        AdmissionPolicy { retry_budget: [4, 2, 0], queue_depth: 4096 }
+    }
+}
+
 /// Everything one orchestrated cluster run needs.
 #[derive(Debug, Clone)]
 pub struct OrchestratorConfig {
@@ -55,8 +88,12 @@ pub struct OrchestratorConfig {
     /// instead of the incremental index — the reference path CI
     /// byte-diffs the index against. Defaults to `false` (indexed).
     pub linear_placement: bool,
-    /// The VM arrival process.
+    /// The VM arrival process. Arrival batches are drawn at the rack's
+    /// capacity-scaled rate (`tick_arrivals_scaled` with the cluster's
+    /// node count).
     pub stream: VmStream,
+    /// What happens to rejected arrivals.
+    pub admission: AdmissionPolicy,
     /// Per-node deployment template (stress params, optimizer, base
     /// ambient). The part is overridden per node from the cluster mix.
     pub deployment: DeploymentConfig,
@@ -97,6 +134,7 @@ impl OrchestratorConfig {
             threads: 0,
             linear_placement: false,
             stream: VmStream::datacenter(),
+            admission: AdmissionPolicy::drop_all(),
             deployment: DeploymentConfig {
                 guests: vec![VmConfig::ldbc_benchmark()],
                 optimizer: EopOptimizer::assertive(),
@@ -117,6 +155,20 @@ impl OrchestratorConfig {
         OrchestratorConfig {
             horizon: Seconds::new(300.0),
             stream: VmStream { arrival_rate: 0.75, ..VmStream::datacenter() },
+            ..OrchestratorConfig::datacenter(nodes, seed)
+        }
+    }
+
+    /// The traffic-engine headline: the datacenter rack under the
+    /// [`VmStream::flash_crowd`] stream — capacity-scaled arrivals,
+    /// diurnal swell, seeded flash-crowd bursts, bounded-Pareto
+    /// lifetimes — with gold-priority re-admission so burst-time
+    /// rejections retry into freed capacity instead of vanishing.
+    #[must_use]
+    pub fn flash_crowd(nodes: usize, seed: u64) -> Self {
+        OrchestratorConfig {
+            stream: VmStream::flash_crowd(),
+            admission: AdmissionPolicy::gold_priority(),
             ..OrchestratorConfig::datacenter(nodes, seed)
         }
     }

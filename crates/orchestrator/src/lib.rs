@@ -6,8 +6,9 @@
 //! manager can place, migrate and evict VMs around their elevated crash
 //! risk. This crate closes that loop:
 //!
-//! * [`config`] — scenario parameters ([`OrchestratorConfig`]) and the
-//!   extended-vs-nominal [`MarginPolicy`];
+//! * [`config`] — scenario parameters ([`OrchestratorConfig`]), the
+//!   extended-vs-nominal [`MarginPolicy`], and the [`AdmissionPolicy`]
+//!   governing what happens to rejected arrivals;
 //! * [`deploy`] — parallel deploy-into-cluster: per-node silicon
 //!   characterized to its Extended Operating Point, sharing one trained
 //!   advisor per part (`uniserver_core::training::AdvisorCache`);
@@ -37,7 +38,7 @@ pub mod orchestrator;
 mod serve;
 pub mod summary;
 
-pub use config::{MarginPolicy, OrchestratorConfig};
+pub use config::{AdmissionPolicy, MarginPolicy, OrchestratorConfig};
 pub use deploy::{deploy_cluster, DeployedNode};
 pub use events::{Event, EventQueue};
 pub use orchestrator::{compare, run, run_timed};

@@ -5,8 +5,12 @@
 //!
 //! 1. fire due events (departures, migration settlements) from the
 //!    deterministic [`EventQueue`];
-//! 2. draw this tick's VM arrival batch from its seeded sub-stream and
-//!    offer it to the energy/SLA-aware scheduler;
+//! 2. re-offer queued rejections (gold first) into the capacity those
+//!    departures freed, then draw this tick's VM arrival batch — at the
+//!    rack's capacity-scaled, shape-modulated rate — from its seeded
+//!    sub-stream and offer it to the energy/SLA-aware scheduler;
+//!    rejections either enter the bounded per-class retry queue or are
+//!    counted `abandoned`, per the [`crate::config::AdmissionPolicy`];
 //! 3. advance every node's hypervisor one tick — **sharded across the
 //!    run's persistent worker pool** (`Cluster::tick_pooled`; the same
 //!    threads that deployed the rack serve every tick), with energy,
@@ -36,8 +40,8 @@ use uniserver_units::Seconds;
 
 use crate::config::{MarginPolicy, OrchestratorConfig};
 use crate::deploy::deploy_cluster_on;
-use crate::events::{Event, EventQueue};
-use crate::serve::{class_idx, ServeCounters};
+use crate::events::EventQueue;
+use crate::serve::{RetryQueue, ServeCounters};
 use crate::summary::{
     ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
 };
@@ -58,9 +62,15 @@ pub fn run(config: &OrchestratorConfig) -> ClusterSummary {
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (zero nodes, non-positive
-/// tick or horizon).
+/// tick or horizon, or an invalid [`VmStream`] — e.g. a class mix whose
+/// gold and silver fractions exceed 1.0).
+///
+/// [`VmStream`]: uniserver_cloudmgr::stream::VmStream
 #[must_use]
 pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTiming) {
+    if let Err(err) = config.stream.validate() {
+        panic!("invalid stream: {err}");
+    }
     let ticks = config.ticks();
     let wall_start = Instant::now();
     // One persistent worker pool for the whole run: the parallel deploy
@@ -81,6 +91,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     let mut queue = EventQueue::new();
     let mut per_tick = Vec::with_capacity(ticks as usize);
     let mut c = ServeCounters::new(config.cluster.part_mix.len());
+    let mut retry = RetryQueue::new(config.admission);
 
     for tick in 0..ticks {
         let now = Seconds::new(tick as f64 * dt.as_secs());
@@ -94,23 +105,19 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         // --- 1. Due events, earliest first.
         let t_completed = c.drain_due(&mut queue, &mut cluster, now);
 
-        // --- 2. This tick's arrival batch, from its own sub-stream.
-        for arrival in config.stream.tick_arrivals(config.seed, tick, step) {
-            c.offered += 1;
+        // --- 2a. Queued rejections re-offer first, gold before silver,
+        // into whatever capacity the departures just freed. (Empty —
+        // and free — under the default drop-all admission policy.)
+        t_placed += c.reoffer_pending(&mut retry, &mut cluster, &mut queue, now);
+
+        // --- 2b. This tick's arrival batch, from its own sub-stream,
+        // drawn at the rack's capacity-scaled rate.
+        for arrival in
+            config.stream.tick_arrivals_scaled(config.seed, tick, step, config.cluster.nodes)
+        {
             t_offered += 1;
-            let class = class_idx(arrival.class);
-            c.per_class[class].offered += 1;
-            match cluster.submit(arrival.config, arrival.class) {
-                Some(placement) => {
-                    c.placed += 1;
-                    t_placed += 1;
-                    c.per_class[class].placed += 1;
-                    queue.schedule(now + arrival.lifetime, Event::Departure(placement.id));
-                }
-                None => {
-                    c.rejected += 1;
-                    c.per_class[class].rejected += 1;
-                }
+            if c.admit(&mut retry, &mut cluster, &mut queue, arrival, now) {
+                t_placed += 1;
             }
         }
 
@@ -155,10 +162,18 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     // `completed` / `migrations_settled` undercount what the horizon
     // actually served. (These fall outside the per-tick series.)
     c.drain_due(&mut queue, &mut cluster, Seconds::new(config.horizon.as_secs()));
+    // Whatever is still waiting for re-admission when the horizon ends
+    // was never served: count it abandoned so admission ties out too.
+    c.flush_pending(&mut retry);
     debug_assert_eq!(
         c.placed,
         c.completed + c.evicted + cluster.placements().len() as u64,
         "lifecycle accounting must tie out"
+    );
+    debug_assert_eq!(
+        c.offered,
+        c.placed + c.abandoned,
+        "admission accounting must tie out: every offer is placed or abandoned"
     );
 
     let fleet = cluster.fleet_metrics();
@@ -199,6 +214,8 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         offered: c.offered,
         placed: c.placed,
         rejected: c.rejected,
+        retried: c.retried,
+        abandoned: c.abandoned,
         completed: c.completed,
         evicted: c.evicted,
         live_at_end: cluster.placements().len() as u64,
@@ -247,6 +264,63 @@ pub fn compare(config: &OrchestratorConfig) -> MarginComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use uniserver_cloudmgr::stream::VmStream;
+
+    use crate::config::AdmissionPolicy;
+
+    #[test]
+    fn admission_retries_recover_rejections_and_tie_out() {
+        // The full datacenter rate on a 2-node rack: heavily overloaded,
+        // so the admission policy is actually exercised.
+        let base = OrchestratorConfig {
+            stream: VmStream::datacenter(),
+            ..OrchestratorConfig::smoke(2, 5)
+        };
+        let drop = run(&base.clone());
+        let retrying =
+            run(&OrchestratorConfig { admission: AdmissionPolicy::gold_priority(), ..base });
+
+        assert!(drop.rejected > 0, "the rack must actually overload");
+        assert_eq!(drop.retried, 0, "drop-all never re-offers");
+        assert_eq!(drop.abandoned, drop.rejected, "drop-all abandons every rejection");
+        assert_eq!(drop.offered, drop.placed + drop.abandoned);
+
+        assert!(retrying.retried > 0, "gold-priority must re-offer queued rejections");
+        assert_eq!(retrying.offered, retrying.placed + retrying.abandoned);
+        assert_eq!(
+            drop.offered, retrying.offered,
+            "the admission policy must not change the arrival stream"
+        );
+        assert_eq!(
+            retrying.per_class[2].retried, 0,
+            "bronze has no budget under gold-priority"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_runs_are_deterministic_for_any_worker_count() {
+        let mut config = OrchestratorConfig {
+            horizon: Seconds::new(600.0),
+            ..OrchestratorConfig::flash_crowd(8, 42)
+        };
+        config.threads = 1;
+        let a = run(&config);
+        config.threads = 4;
+        let b = run(&config);
+        assert_eq!(a, b, "worker count must never leak into a flash-crowd summary");
+        assert!(a.offered > 0);
+        assert_eq!(a.offered, a.placed + a.abandoned);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream")]
+    fn invalid_stream_is_rejected_before_deploy() {
+        let mut config = OrchestratorConfig::smoke(2, 1);
+        config.stream.gold_fraction = 0.8;
+        config.stream.silver_fraction = 0.7;
+        let _ = run(&config);
+    }
 
     #[test]
     fn smoke_run_places_and_completes_vms() {

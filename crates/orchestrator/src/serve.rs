@@ -21,14 +21,17 @@
 //!   undercount and the `placed = completed + evicted + live_at_end`
 //!   tie-out only balances through `live_at_end`.
 
+use std::collections::VecDeque;
+
 use uniserver_cloudmgr::cluster::{Cluster, Placement};
 use uniserver_cloudmgr::node::NodeId;
 use uniserver_cloudmgr::sla::SlaClass;
+use uniserver_cloudmgr::stream::Arrival;
 use uniserver_core::eop::OperatingPoint;
 use uniserver_platform::node::CrashEvent;
 use uniserver_units::Seconds;
 
-use crate::config::MarginPolicy;
+use crate::config::{AdmissionPolicy, MarginPolicy};
 use crate::events::{Event, EventQueue};
 use crate::summary::ClassStats;
 
@@ -41,6 +44,37 @@ pub(crate) fn class_idx(class: SlaClass) -> usize {
     }
 }
 
+/// One rejected arrival waiting in the re-admission queue.
+#[derive(Debug)]
+pub(crate) struct PendingArrival {
+    pub arrival: Arrival,
+    /// Re-offer attempts remaining before it is abandoned.
+    pub retries_left: u32,
+}
+
+/// The bounded per-class re-admission queue behind an
+/// [`AdmissionPolicy`]. Rejections whose class has a non-zero retry
+/// budget wait here and are re-offered at the start of each subsequent
+/// tick, gold first; the legacy `drop_all` policy keeps every queue
+/// permanently empty.
+#[derive(Debug)]
+pub(crate) struct RetryQueue {
+    policy: AdmissionPolicy,
+    pending: [VecDeque<PendingArrival>; 3],
+}
+
+impl RetryQueue {
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        RetryQueue { policy, pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()] }
+    }
+
+    /// Rejections currently waiting, across all classes.
+    #[cfg(test)]
+    pub fn pending_len(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+}
+
 /// The serving loop's running totals — everything the summary reports
 /// that is not an end-of-run fleet metric.
 #[derive(Debug)]
@@ -48,6 +82,8 @@ pub(crate) struct ServeCounters {
     pub offered: u64,
     pub placed: u64,
     pub rejected: u64,
+    pub retried: u64,
+    pub abandoned: u64,
     pub completed: u64,
     pub evicted: u64,
     /// Platform-surfaced crash *events* (a node can surface several in
@@ -69,6 +105,8 @@ impl ServeCounters {
             offered: 0,
             placed: 0,
             rejected: 0,
+            retried: 0,
+            abandoned: 0,
             completed: 0,
             evicted: 0,
             crashes: 0,
@@ -104,6 +142,112 @@ impl ServeCounters {
             }
         }
         completed_now
+    }
+
+    /// Offers one first-time arrival to the scheduler. A placement
+    /// schedules its departure and returns `true`; a rejection is
+    /// counted and then either queued for re-admission (class budget
+    /// and queue depth permitting) or abandoned on the spot — the
+    /// legacy drop-on-rejection path is exactly the zero-budget case.
+    pub fn admit(
+        &mut self,
+        retry: &mut RetryQueue,
+        cluster: &mut Cluster,
+        queue: &mut EventQueue,
+        arrival: Arrival,
+        now: Seconds,
+    ) -> bool {
+        self.offered += 1;
+        let class = class_idx(arrival.class);
+        self.per_class[class].offered += 1;
+        let budget = retry.policy.retry_budget[class];
+        // Only a retryable class pays for the config clone the re-offer
+        // needs; the legacy path submits the original untouched.
+        let backup = (budget > 0).then(|| arrival.config.clone());
+        match cluster.submit(arrival.config, arrival.class) {
+            Some(placement) => {
+                self.placed += 1;
+                self.per_class[class].placed += 1;
+                queue.schedule(now + arrival.lifetime, Event::Departure(placement.id));
+                true
+            }
+            None => {
+                self.rejected += 1;
+                self.per_class[class].rejected += 1;
+                match backup {
+                    Some(config) if retry.pending[class].len() < retry.policy.queue_depth => {
+                        retry.pending[class].push_back(PendingArrival {
+                            arrival: Arrival { config, class: arrival.class, lifetime: arrival.lifetime },
+                            retries_left: budget,
+                        });
+                    }
+                    // Budget zero or queue full: dropped for good.
+                    _ => self.abandon(class),
+                }
+                false
+            }
+        }
+    }
+
+    /// Re-offers queued rejections at the start of a tick, gold first,
+    /// into whatever capacity departures and crash recovery just freed.
+    /// Only the entries queued before this call are drained; a re-offer
+    /// that fails again burns one unit of budget and requeues behind
+    /// them for the next tick (or abandons at zero). Returns the
+    /// placements made, for the per-tick series.
+    pub fn reoffer_pending(
+        &mut self,
+        retry: &mut RetryQueue,
+        cluster: &mut Cluster,
+        queue: &mut EventQueue,
+        now: Seconds,
+    ) -> u64 {
+        let mut placed_now = 0;
+        for class in 0..3 {
+            let waiting = retry.pending[class].len();
+            for _ in 0..waiting {
+                let Some(mut p) = retry.pending[class].pop_front() else { break };
+                self.retried += 1;
+                self.per_class[class].retried += 1;
+                let backup = (p.retries_left > 1).then(|| p.arrival.config.clone());
+                match cluster.submit(p.arrival.config, p.arrival.class) {
+                    Some(placement) => {
+                        self.placed += 1;
+                        placed_now += 1;
+                        self.per_class[class].placed += 1;
+                        queue.schedule(now + p.arrival.lifetime, Event::Departure(placement.id));
+                    }
+                    None => {
+                        self.rejected += 1;
+                        self.per_class[class].rejected += 1;
+                        p.retries_left -= 1;
+                        match backup {
+                            Some(config) => {
+                                p.arrival.config = config;
+                                retry.pending[class].push_back(p);
+                            }
+                            None => self.abandon(class),
+                        }
+                    }
+                }
+            }
+        }
+        placed_now
+    }
+
+    /// Abandons everything still queued — called once when the horizon
+    /// ends, so `offered = placed + abandoned` ties out.
+    pub fn flush_pending(&mut self, retry: &mut RetryQueue) {
+        for class in 0..3 {
+            while retry.pending[class].pop_front().is_some() {
+                self.abandon(class);
+            }
+        }
+    }
+
+    fn abandon(&mut self, class: usize) {
+        self.abandoned += 1;
+        self.per_class[class].abandoned += 1;
     }
 
     /// Charges one lost placement: an eviction is an SLA violation
@@ -186,6 +330,105 @@ mod tests {
 
     fn crash_event(at: f64) -> CrashEvent {
         CrashEvent { core: 0, at: Seconds::new(at), voltage: Volts::new(0.9), workload: Arc::from("ldbc") }
+    }
+
+    fn gold_arrival() -> Arrival {
+        Arrival {
+            config: VmConfig::idle_guest(),
+            class: SlaClass::Gold,
+            lifetime: Seconds::new(60.0),
+        }
+    }
+
+    /// Deploys a 2-node rack and packs it until the scheduler rejects.
+    fn overloaded_rack(seed: u64) -> Cluster {
+        let config = OrchestratorConfig::smoke(2, seed);
+        let (mut cluster, _, _, _) = deploy_cluster(&config);
+        while cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).is_some() {}
+        cluster
+    }
+
+    #[test]
+    fn gold_rejection_abandons_only_after_retries_exhaust() {
+        let mut cluster = overloaded_rack(7);
+        let mut queue = EventQueue::new();
+        let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
+        let mut c = ServeCounters::new(1);
+
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert_eq!(c.per_class[0].rejected, 1);
+        assert_eq!(c.per_class[0].abandoned, 0, "a gold rejection must queue, not drop");
+        assert_eq!(retry.pending_len(), 1);
+
+        // Re-offer against a still-full rack: each tick burns one unit
+        // of the gold budget (4), and only exhaustion abandons.
+        for attempt in 1..=4u64 {
+            let placed =
+                c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(attempt as f64 * 5.0));
+            assert_eq!(placed, 0);
+            assert_eq!(c.per_class[0].retried, attempt);
+            if attempt < 4 {
+                assert_eq!(c.per_class[0].abandoned, 0, "gold must not abandon before its budget is spent");
+            }
+        }
+        assert_eq!(c.per_class[0].abandoned, 1, "budget exhausted: now it abandons");
+        assert_eq!(c.per_class[0].rejected, 5, "the initial rejection plus four failed re-offers");
+        assert_eq!(retry.pending_len(), 0);
+        assert_eq!(c.offered, c.placed + c.abandoned, "the lifecycle invariant must tie out");
+    }
+
+    #[test]
+    fn queued_gold_places_into_freed_capacity() {
+        let mut cluster = overloaded_rack(13);
+        let mut queue = EventQueue::new();
+        let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
+        let mut c = ServeCounters::new(1);
+
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert_eq!(retry.pending_len(), 1);
+
+        // A departure frees capacity before the budget runs out …
+        let victim = cluster.placements()[0].id;
+        assert!(cluster.terminate_by_id(victim));
+        // … and the next re-offer claims it.
+        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0));
+        assert_eq!(placed, 1);
+        assert_eq!(c.per_class[0].placed, 1);
+        assert_eq!(c.per_class[0].retried, 1);
+        assert_eq!(c.per_class[0].abandoned, 0);
+        assert_eq!(retry.pending_len(), 0);
+        assert_eq!(c.offered, c.placed + c.abandoned);
+    }
+
+    #[test]
+    fn drop_all_policy_abandons_rejections_immediately() {
+        let mut cluster = overloaded_rack(21);
+        let mut queue = EventQueue::new();
+        let mut retry = RetryQueue::new(AdmissionPolicy::drop_all());
+        let mut c = ServeCounters::new(1);
+
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert_eq!(c.per_class[0].rejected, 1);
+        assert_eq!(c.per_class[0].abandoned, 1, "zero budget is the legacy drop path");
+        assert_eq!(c.retried, 0);
+        assert_eq!(retry.pending_len(), 0);
+    }
+
+    #[test]
+    fn horizon_flush_abandons_whatever_is_still_queued() {
+        let mut cluster = overloaded_rack(33);
+        let mut queue = EventQueue::new();
+        let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
+        let mut c = ServeCounters::new(1);
+
+        for _ in 0..3 {
+            c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0));
+        }
+        assert_eq!(retry.pending_len(), 3);
+        c.flush_pending(&mut retry);
+        assert_eq!(retry.pending_len(), 0);
+        assert_eq!(c.abandoned, 3);
+        assert_eq!(c.offered, c.placed + c.abandoned);
     }
 
     #[test]

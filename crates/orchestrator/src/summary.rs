@@ -9,8 +9,15 @@ pub struct ClassStats {
     pub offered: u64,
     /// Arrivals placed.
     pub placed: u64,
-    /// Arrivals rejected (no feasible node).
+    /// Arrivals rejected (no feasible node). Counts every failed submit
+    /// attempt, so re-offers that fail again are counted again.
     pub rejected: u64,
+    /// Re-offer attempts made for this class's queued rejections.
+    pub retried: u64,
+    /// Arrivals dropped for good: retry budget exhausted, retry queue
+    /// overflowed, or the horizon ended with them still queued. With the
+    /// legacy drop-all policy every rejection abandons immediately.
+    pub abandoned: u64,
     /// SLA violations charged to this class (evictions, and crash
     /// interruptions for gold/silver).
     pub violations: u64,
@@ -71,8 +78,14 @@ pub struct ClusterSummary {
     pub offered: u64,
     /// Arrivals placed.
     pub placed: u64,
-    /// Arrivals rejected.
+    /// Arrivals rejected (every failed submit attempt, re-offers
+    /// included).
     pub rejected: u64,
+    /// Re-offer attempts made for queued rejections (admission policy).
+    pub retried: u64,
+    /// Arrivals dropped for good — `offered = placed + abandoned` after
+    /// the horizon flushes the retry queue.
+    pub abandoned: u64,
     /// Placements whose lifetime completed normally.
     pub completed: u64,
     /// Placements evicted after crashes (no healthy node fit them).
