@@ -18,7 +18,7 @@
 //!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
 //!           [--no-per-node]
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
-//!           [--threads K] [--nominal] [--profile flat|flash]
+//!           [--threads K] [--nominal] [--profile flat|flash|chaos]
 //!           [--place linear|indexed] [--bench PATH] [--label NAME]
 //!           [--no-per-tick]
 //! ```
@@ -35,8 +35,12 @@
 //!   stream for the traffic engine's flash-crowd scenario:
 //!   capacity-scaled arrivals, diurnal modulation, seeded burst epochs,
 //!   bounded-Pareto lifetimes, and gold-priority re-admission of
-//!   rejected arrivals. `--profile flat` is the default and reproduces
-//!   the legacy stream byte-for-byte.
+//!   rejected arrivals. `--profile chaos` layers the failure lifecycle
+//!   and the seeded rack-and-flash fault campaigns on top of the flash
+//!   profile: crashed nodes go offline for seeded MTTR windows, rejoin
+//!   through re-characterization, and the summary reports downtime,
+//!   lost capacity and availability. `--profile flat` is the default
+//!   and reproduces the legacy stream byte-for-byte.
 //! * `--place linear` (cluster mode) routes placement through the
 //!   reference `Scheduler::place_linear` scan instead of the default
 //!   incremental index — the two are equivalent by construction, and CI
@@ -66,6 +70,17 @@ use uniserver_orchestrator::{run_timed, MarginPolicy, OrchestratorConfig};
 use uniserver_stress::campaign::ShmooCampaign;
 use uniserver_units::Seconds;
 
+/// The cluster-mode scenario profile behind `--profile`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Profile {
+    /// The legacy flat arrival stream (the default).
+    Flat,
+    /// The traffic engine's flash-crowd scenario.
+    Flash,
+    /// Flash crowd plus the failure lifecycle and fault campaigns.
+    Chaos,
+}
+
 struct Args {
     cluster: bool,
     nodes: Option<usize>,
@@ -78,9 +93,9 @@ struct Args {
     mixed: bool,
     baseline: bool,
     nominal: bool,
-    /// `Some(true)` = flash, `Some(false)` = flat; `None` = flag absent
-    /// (so fleet mode can reject *any* `--profile`).
-    flash_profile: Option<bool>,
+    /// `None` = flag absent (so fleet mode can reject *any*
+    /// `--profile`).
+    profile: Option<Profile>,
     /// `Some(true)` = linear, `Some(false)` = indexed; `None` = flag
     /// absent (so fleet mode can reject *any* `--place`, not just
     /// `--place linear`).
@@ -103,7 +118,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         mixed: false,
         baseline: false,
         nominal: false,
-        flash_profile: None,
+        profile: None,
         linear_place: None,
         bench: None,
         label: None,
@@ -133,10 +148,15 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             "--baseline" => args.baseline = true,
             "--nominal" => args.nominal = true,
             "--profile" => {
-                args.flash_profile = Some(match value("--profile")?.as_str() {
-                    "flash" => true,
-                    "flat" => false,
-                    other => return Err(format!("--profile must be flat or flash, got '{other}'")),
+                args.profile = Some(match value("--profile")?.as_str() {
+                    "flash" => Profile::Flash,
+                    "flat" => Profile::Flat,
+                    "chaos" => Profile::Chaos,
+                    other => {
+                        return Err(format!(
+                            "--profile must be flat, flash or chaos, got '{other}'"
+                        ))
+                    }
                 });
             }
             "--place" => {
@@ -180,7 +200,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         if args.linear_place.is_some() {
             return Err("--place requires --cluster (fleet mode has no scheduler)".into());
         }
-        if args.flash_profile.is_some() {
+        if args.profile.is_some() {
             return Err("--profile requires --cluster (fleet mode has no arrival stream)".into());
         }
         if args.tick.is_some() {
@@ -198,7 +218,7 @@ fn usage() {
         "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
-         [--threads K] [--nominal] [--profile flat|flash] [--place linear|indexed] \
+         [--threads K] [--nominal] [--profile flat|flash|chaos] [--place linear|indexed] \
          [--bench PATH] [--label NAME] [--no-per-tick]"
     );
 }
@@ -218,17 +238,23 @@ fn append_bench(path: &str, line: &str) -> ExitCode {
 
 fn run_cluster(args: Args) -> ExitCode {
     let nodes = args.nodes.unwrap_or(256);
-    let flash = args.flash_profile.unwrap_or(false);
-    let mut config = if flash {
-        OrchestratorConfig::flash_crowd(nodes, args.seed)
-    } else {
-        OrchestratorConfig::datacenter(nodes, args.seed)
+    let profile = args.profile.unwrap_or(Profile::Flat);
+    let mut config = match profile {
+        Profile::Flat => OrchestratorConfig::datacenter(nodes, args.seed),
+        Profile::Flash => OrchestratorConfig::flash_crowd(nodes, args.seed),
+        Profile::Chaos => OrchestratorConfig::chaos_profile(nodes, args.seed),
     };
     if let Some(secs) = args.secs {
         config.horizon = Seconds::new(secs);
     }
     if let Some(tick) = args.tick {
         config.tick = Seconds::new(tick);
+    }
+    if profile == Profile::Chaos && (args.secs.is_some() || args.tick.is_some()) {
+        // The fault campaigns anchor to tick fractions of the horizon:
+        // re-derive the plan so the rack and cooling failures land
+        // inside whatever span was actually requested.
+        config.chaos = Some(uniserver_orchestrator::ChaosPlan::rack_and_flash(config.ticks()));
     }
     config.threads = args.threads;
     config.linear_placement = args.linear_place.unwrap_or(false);
@@ -241,8 +267,12 @@ fn run_cluster(args: Args) -> ExitCode {
 
     if let Some(path) = args.bench {
         let label = args.label.unwrap_or_else(|| {
-            let profile = if flash { "-flash" } else { "" };
-            format!("cluster{profile}-{}", summary.margins)
+            let tag = match profile {
+                Profile::Flat => "",
+                Profile::Flash => "-flash",
+                Profile::Chaos => "-chaos",
+            };
+            format!("cluster{tag}-{}", summary.margins)
         });
         return append_bench(&path, &bench_record(&summary, &timing, &label));
     }

@@ -28,6 +28,7 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
     w.field_u64("rejected", s.rejected);
     w.field_u64("retried", s.retried);
     w.field_u64("abandoned", s.abandoned);
+    w.field_u64("expired_at_horizon", s.expired_at_horizon);
     w.field_u64("completed", s.completed);
     w.field_u64("evicted", s.evicted);
     w.field_u64("live_at_end", s.live_at_end);
@@ -51,9 +52,23 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
         cw.field_u64("rejected", c.rejected);
         cw.field_u64("retried", c.retried);
         cw.field_u64("abandoned", c.abandoned);
+        cw.field_u64("expired_at_horizon", c.expired_at_horizon);
+        cw.field_u64("shed", c.shed);
         cw.field_u64("violations", c.violations);
         out.push_str(&cw.finish());
     });
+    if let Some(chaos) = &s.chaos {
+        w.field_object("chaos", |o| {
+            o.field_u64("injected_crashes", chaos.injected_crashes);
+            o.field_u64("nodes_offlined", chaos.nodes_offlined);
+            o.field_u64("rejoins", chaos.rejoins);
+            o.field_u64("peak_offline", chaos.peak_offline);
+            o.field_f64("downtime_secs", chaos.downtime_secs);
+            o.field_f64("lost_capacity_node_hours", chaos.lost_capacity_node_hours);
+            o.field_f64("availability", chaos.availability);
+            o.field_u64("shed", chaos.shed);
+        });
+    }
     w.field_array("per_part", s.per_part.iter(), |part, out| {
         let mut pw = JsonWriter::object();
         pw.field_str("part", &part.part);
@@ -110,6 +125,20 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
         cw.field_u64("abandoned", c.abandoned);
         out.push_str(&cw.finish());
     });
+    // Chaos accounting rides along only when the run had the lifecycle
+    // or a fault plan active, so legacy rows stay byte-identical.
+    if let Some(chaos) = &s.chaos {
+        w.field_object("chaos", |o| {
+            o.field_u64("injected_crashes", chaos.injected_crashes);
+            o.field_u64("nodes_offlined", chaos.nodes_offlined);
+            o.field_u64("rejoins", chaos.rejoins);
+            o.field_u64("peak_offline", chaos.peak_offline);
+            o.field_f64("downtime_secs", chaos.downtime_secs);
+            o.field_f64("lost_capacity_node_hours", chaos.lost_capacity_node_hours);
+            o.field_f64("availability", chaos.availability);
+            o.field_u64("shed", chaos.shed);
+        });
+    }
     w.field_u64("nodes", t.nodes as u64);
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
@@ -163,5 +192,33 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert!(!json.contains("\"chaos\":"), "legacy rows must not grow a chaos object");
+    }
+
+    #[test]
+    fn chaos_outcomes_render_only_when_present() {
+        use uniserver_orchestrator::ChaosPlan;
+
+        let mut config = OrchestratorConfig::chaos_profile(4, 5);
+        config.horizon = uniserver_units::Seconds::new(600.0);
+        config.chaos = Some(ChaosPlan::rack_and_flash(config.ticks()));
+        let (summary, timing) = run_timed(&config);
+        assert!(summary.chaos.is_some());
+        let record = bench_record(&summary, &timing, "chaos");
+        let json = summary_to_json(&summary, false);
+        for key in [
+            "\"chaos\":{\"injected_crashes\":",
+            "\"nodes_offlined\":",
+            "\"rejoins\":",
+            "\"peak_offline\":",
+            "\"downtime_secs\":",
+            "\"lost_capacity_node_hours\":",
+            "\"availability\":",
+            "\"shed\":",
+        ] {
+            assert!(record.contains(key), "missing {key} in {record}");
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"expired_at_horizon\":"));
     }
 }

@@ -197,6 +197,19 @@ pub mod json {
             self
         }
 
+        /// Writes a nested-object field, built by `build` on a fresh
+        /// writer.
+        pub fn field_object<F>(&mut self, name: &str, build: F) -> &mut Self
+        where
+            F: FnOnce(&mut JsonWriter),
+        {
+            self.key(name);
+            let mut inner = JsonWriter::object();
+            build(&mut inner);
+            self.buf.push_str(&inner.finish());
+            self
+        }
+
         /// Closes the object and returns the JSON text.
         #[must_use]
         pub fn finish(mut self) -> String {
@@ -228,6 +241,18 @@ pub mod json {
             let mut w = JsonWriter::object();
             w.field_array("xs", [1u64, 2, 3].into_iter(), |x, out| out.push_str(&x.to_string()));
             assert_eq!(w.finish(), r#"{"xs":[1,2,3]}"#);
+        }
+
+        #[test]
+        fn nested_objects_render_in_place() {
+            let mut w = JsonWriter::object();
+            w.field_u64("a", 1);
+            w.field_object("inner", |o| {
+                o.field_u64("x", 2);
+                o.field_f64("y", 0.5);
+            });
+            w.field_u64("b", 3);
+            assert_eq!(w.finish(), r#"{"a":1,"inner":{"x":2,"y":0.5},"b":3}"#);
         }
     }
 }

@@ -39,6 +39,7 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         &["--cluster", "--place", "bogus"][..],
         &["--profile", "flash"][..],
         &["--profile", "flat"][..],
+        &["--profile", "chaos"][..],
         &["--cluster", "--profile"][..],
         &["--cluster", "--profile", "bogus"][..],
     ] {
@@ -94,6 +95,22 @@ fn flash_profile_is_byte_stable_and_reports_admission_counters() {
     let json = String::from_utf8_lossy(&one.stdout);
     assert!(json.contains("\"retried\":"), "flash summaries report admission counters: {json}");
     assert!(json.contains("\"abandoned\":"));
+}
+
+#[test]
+fn chaos_profile_is_byte_stable_and_reports_the_outcome() {
+    let base =
+        &["--cluster", "--profile", "chaos", "--nodes", "8", "--secs", "300", "--seed", "7"];
+    let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
+    assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
+    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "chaos summaries must be byte-identical");
+    let json = String::from_utf8_lossy(&one.stdout);
+    assert!(json.contains("\"chaos\":{\"injected_crashes\":"), "chaos outcome missing: {json}");
+    for key in ["\"nodes_offlined\":", "\"downtime_secs\":", "\"availability\":", "\"shed\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
 }
 
 #[test]

@@ -28,6 +28,7 @@ use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
 use crate::failure::{FailurePredictor, ScoreUpdate};
 use crate::index::PlacementIndex;
+use crate::lifecycle::NodePhase;
 use crate::migrate::MigrationModel;
 use crate::node::{ManagedNode, NodeId};
 use crate::pool::ShardPool;
@@ -389,16 +390,23 @@ impl Cluster {
             Some(pool) => self.advance_nodes_pooled(duration, pool),
             None => {
                 let predictor = &self.predictor;
-                self.nodes.iter_mut().map(|n| advance_node(n, predictor, duration)).collect()
+                self.nodes
+                    .iter_mut()
+                    .map(|n| n.is_online().then(|| advance_node(n, predictor, duration)))
+                    .collect()
             }
         };
 
-        // --- Sequential reduce, in node-index order.
+        // --- Sequential reduce, in node-index order. Offline nodes
+        // produced no advance: no tick, no energy, no crash feed, and
+        // the predictor neither observes nor decays them — their score
+        // freezes until they rejoin.
         let mut crashes = Vec::new();
         let mut energy = Joules::ZERO;
         let predictor = &mut self.predictor;
         let index = &mut self.index;
         for (node, adv) in self.nodes.iter_mut().zip(advances) {
+            let Some(adv) = adv else { continue };
             energy = energy + adv.energy;
             crashes.extend(adv.crash_events.into_iter().map(|ev| (node.id, ev)));
             let reliability = predictor.apply(node.id.0, adv.score);
@@ -438,7 +446,7 @@ impl Cluster {
     /// O(n) moves per tick), and the predictor rides an `Arc` whose last
     /// reference returns here after the join — per-node computation is
     /// untouched, so the pooled and sequential paths are bit-identical.
-    fn advance_nodes_pooled(&mut self, duration: Seconds, pool: &ShardPool) -> Vec<NodeAdvance> {
+    fn advance_nodes_pooled(&mut self, duration: Seconds, pool: &ShardPool) -> Vec<Option<NodeAdvance>> {
         let n = self.nodes.len();
         let workers = pool.workers().clamp(1, n);
         let chunk = n.div_ceil(workers);
@@ -452,9 +460,9 @@ impl Cluster {
             let mut shard = std::mem::take(&mut chunks[i]);
             let predictor = Arc::clone(&predictor);
             Box::new(move || {
-                let advances: Vec<NodeAdvance> = shard
+                let advances: Vec<Option<NodeAdvance>> = shard
                     .iter_mut()
-                    .map(|node| advance_node(node, &predictor, duration))
+                    .map(|node| node.is_online().then(|| advance_node(node, &predictor, duration)))
                     .collect();
                 (shard, advances)
             })
@@ -557,7 +565,11 @@ impl Cluster {
         let failing: Vec<NodeId> = self
             .nodes
             .iter()
-            .filter(|n| self.predictor.predicts_failure(n.reliability) && !exclude.contains(&n.id))
+            .filter(|n| {
+                n.is_online()
+                    && self.predictor.predicts_failure(n.reliability)
+                    && !exclude.contains(&n.id)
+            })
             .map(|n| n.id)
             .collect();
         if failing.is_empty() {
@@ -670,6 +682,93 @@ impl Cluster {
     #[must_use]
     pub fn placements_on(&self, node: NodeId) -> Vec<&Placement> {
         self.placements.iter().filter(|p| p.node == node).collect()
+    }
+
+    // --- Failure lifecycle transitions. All phase changes go through
+    // these so the placement index is marked consistently; the
+    // orchestrator drives the sequence
+    // `mark_crashed → recover_from_crash → begin_repair →
+    // tick_repairs … → complete_rejoin`.
+
+    /// The failure-lifecycle phase of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this cluster.
+    #[must_use]
+    pub fn phase(&self, id: NodeId) -> NodePhase {
+        self.node_ref(id).phase
+    }
+
+    /// Nodes currently out of the pool (crashed, under repair, or
+    /// rejoining) — the cluster's lost capacity in node units.
+    #[must_use]
+    pub fn offline_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_online()).count()
+    }
+
+    /// Marks a node as crashed: it stops passing the scheduler filter
+    /// immediately. Transient — the caller evacuates it with
+    /// [`Cluster::recover_from_crash`] and parks it with
+    /// [`Cluster::begin_repair`] before the tick ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this cluster.
+    pub fn mark_crashed(&mut self, id: NodeId) {
+        self.node_mut(id).phase = NodePhase::Crashed;
+        self.index.mark(id);
+    }
+
+    /// Takes an evacuated node offline for `mttr_ticks` repair ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the repair window is zero ticks, and (debug builds) if
+    /// the node still hosts tracked placements — an offline node must be
+    /// evacuated first, or its VMs would silently stop ticking.
+    pub fn begin_repair(&mut self, id: NodeId, mttr_ticks: u32) {
+        assert!(mttr_ticks >= 1, "repairs take at least one tick");
+        debug_assert!(
+            self.placements_on(id).is_empty(),
+            "{id} must be evacuated before going offline"
+        );
+        self.node_mut(id).phase = NodePhase::Offline { remaining_ticks: mttr_ticks };
+        self.index.mark(id);
+    }
+
+    /// Advances every offline node's repair clock by one tick. Nodes
+    /// whose repair just finished move to [`NodePhase::Rejoining`] and
+    /// are returned in node-index order for the caller to
+    /// re-characterize and [`Cluster::complete_rejoin`].
+    pub fn tick_repairs(&mut self) -> Vec<NodeId> {
+        let mut ready = Vec::new();
+        for node in &mut self.nodes {
+            if let NodePhase::Offline { remaining_ticks } = node.phase {
+                if remaining_ticks <= 1 {
+                    node.phase = NodePhase::Rejoining;
+                    ready.push(node.id);
+                } else {
+                    node.phase = NodePhase::Offline { remaining_ticks: remaining_ticks - 1 };
+                }
+            }
+        }
+        ready
+    }
+
+    /// Returns a re-characterized node to service: it ticks, consumes
+    /// energy and takes placements again from this call on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in [`NodePhase::Rejoining`] — online
+    /// nodes cannot "rejoin", and offline nodes must finish their repair
+    /// window first.
+    pub fn complete_rejoin(&mut self, id: NodeId) {
+        let node = self.node_mut(id);
+        assert_eq!(node.phase, NodePhase::Rejoining, "only rejoining nodes come back online");
+        node.phase = NodePhase::Online;
+        self.index.mark(id);
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut ManagedNode {
@@ -976,5 +1075,84 @@ mod tests {
         assert!(!seen.is_empty(), "a 20 % undervolt must surface a crash event");
         assert_eq!(seen[0].0, NodeId(0));
         assert!(seen[0].1.voltage.as_volts() > 0.0);
+    }
+
+    #[test]
+    fn lifecycle_round_trips_through_repair() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Online);
+        cluster.mark_crashed(NodeId(0));
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Crashed);
+        assert_eq!(cluster.offline_count(), 1);
+        cluster.begin_repair(NodeId(0), 2);
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Offline { remaining_ticks: 2 });
+        assert!(cluster.tick_repairs().is_empty(), "one tick left on the clock");
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Offline { remaining_ticks: 1 });
+        assert_eq!(cluster.tick_repairs(), vec![NodeId(0)], "repair finished");
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Rejoining);
+        assert_eq!(cluster.offline_count(), 1, "rejoining nodes are still out of the pool");
+        cluster.complete_rejoin(NodeId(0));
+        assert_eq!(cluster.phase(NodeId(0)), NodePhase::Online);
+        assert_eq!(cluster.offline_count(), 0);
+    }
+
+    #[test]
+    fn offline_nodes_take_no_placements_and_consume_no_energy() {
+        for linear in [false, true] {
+            let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+            cluster.set_linear_placement(linear);
+            cluster.mark_crashed(NodeId(1));
+            cluster.begin_repair(NodeId(1), 10);
+            // Node 0's relaxed domain fits four 4 GiB guests; all four
+            // land there, the fifth has nowhere to go.
+            for _ in 0..4 {
+                let p = cluster
+                    .submit(VmConfig::ldbc_benchmark(), SlaClass::Bronze)
+                    .expect("the online node fits");
+                assert_eq!(p.node, NodeId(0), "offline nodes never take placements");
+            }
+            assert!(cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Bronze).is_none());
+            for _ in 0..5 {
+                cluster.tick(Seconds::new(1.0));
+            }
+            assert!(cluster.nodes()[0].metrics().energy.as_joules() > 0.0);
+            assert_eq!(
+                cluster.nodes()[1].metrics().energy,
+                Joules::ZERO,
+                "offline nodes do not tick"
+            );
+        }
+    }
+
+    #[test]
+    fn offline_skip_is_worker_count_invariant() {
+        let build = || {
+            let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(6), 100);
+            for i in 0..6 {
+                let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+                cluster.submit(VmConfig::idle_guest(), class);
+            }
+            let crashed = NodeId(2);
+            cluster.mark_crashed(crashed);
+            cluster.recover_from_crash(crashed);
+            cluster.begin_repair(crashed, 30);
+            cluster
+        };
+        let mut seq = build();
+        let mut par = build();
+        for tick in 0..20 {
+            let a = seq.tick(Seconds::new(1.0));
+            let b = par.tick_sharded(Seconds::new(1.0), 4);
+            assert_eq!(a, b, "offline skip changed tick {tick} across worker counts");
+        }
+        assert_eq!(seq.fleet_metrics(), par.fleet_metrics());
+        assert_eq!(seq.nodes()[2].metrics().energy, Joules::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "only rejoining nodes")]
+    fn online_nodes_cannot_rejoin() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(1), 100);
+        cluster.complete_rejoin(NodeId(0));
     }
 }

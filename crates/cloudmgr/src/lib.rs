@@ -14,6 +14,9 @@
 //! * [`sla`] — service classes and their requirements;
 //! * [`scheduler`] — Nova-style filter + weigher placement;
 //! * [`failure`] — log-pattern failure prediction (refs [21][24]);
+//! * [`lifecycle`] — the node failure lifecycle: crashed nodes go
+//!   offline (real downtime, lost capacity) for a seeded MTTR window,
+//!   then re-characterize and rejoin;
 //! * [`migrate`] — live-migration cost model;
 //! * [`stream`] — the traffic engine: capacity-scaled, diurnal and
 //!   flash-crowd-modulated arrival/departure streams of VMs;
@@ -37,6 +40,7 @@
 pub mod cluster;
 pub mod failure;
 pub mod index;
+pub mod lifecycle;
 pub mod migrate;
 pub mod node;
 pub mod pool;
@@ -49,6 +53,7 @@ pub use cluster::{
 };
 pub use failure::{FailurePredictor, ScoreUpdate};
 pub use index::PlacementIndex;
+pub use lifecycle::{FailureLifecycle, NodePhase};
 pub use migrate::{MigrationCost, MigrationModel};
 pub use node::{ManagedNode, NodeId, NodeMetrics};
 pub use pool::{cores, resolve_workers, ShardPool};

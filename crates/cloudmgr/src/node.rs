@@ -12,6 +12,8 @@ use uniserver_hypervisor::vm::{VmConfig, VmId};
 use uniserver_platform::node::ServerNode;
 use uniserver_platform::part::PartSpec;
 
+use crate::lifecycle::NodePhase;
+
 /// Identifier of a node within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
@@ -46,6 +48,9 @@ pub struct ManagedNode {
     energy: Joules,
     /// Most recent reliability score (updated by the failure predictor).
     pub reliability: f64,
+    /// Failure-lifecycle phase; transitions go through the cluster's
+    /// lifecycle methods so the placement index stays consistent.
+    pub(crate) phase: NodePhase,
 }
 
 impl ManagedNode {
@@ -60,7 +65,26 @@ impl ManagedNode {
     /// into a managed node.
     #[must_use]
     pub fn adopt(id: NodeId, node: ServerNode) -> Self {
-        ManagedNode { id, hypervisor: Hypervisor::new(node), energy: Joules::ZERO, reliability: 1.0 }
+        ManagedNode {
+            id,
+            hypervisor: Hypervisor::new(node),
+            energy: Joules::ZERO,
+            reliability: 1.0,
+            phase: NodePhase::Online,
+        }
+    }
+
+    /// The node's failure-lifecycle phase.
+    #[must_use]
+    pub fn phase(&self) -> NodePhase {
+        self.phase
+    }
+
+    /// Whether the node is serving. Offline/repairing nodes are skipped
+    /// by the tick loop and rejected by the scheduler filter.
+    #[must_use]
+    pub fn is_online(&self) -> bool {
+        self.phase.is_online()
     }
 
     /// Ticks the node's hypervisor and accumulates energy.

@@ -65,6 +65,9 @@ impl Scheduler {
     pub fn filter(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
         let m = node.metrics();
         node.fits(config)
+            // The failure lifecycle pulls crashed nodes out of the pool
+            // entirely; an offline or rejoining node hosts nothing.
+            && node.is_online()
             && !node.hypervisor.node().is_crashed()
             // Availability gating uses the class requirement directly;
             // fresh nodes (availability 1.0) pass every floor.

@@ -123,6 +123,37 @@ pub fn provision_node(
     (node, point)
 }
 
+/// Re-characterizes an already-deployed node in place — the rejoin path
+/// after a repair window. The StressLog re-shmoos the node *as it is
+/// now* (aged silicon, current ambient), so the chosen point reflects
+/// the margins the hardware actually has today instead of a geometric
+/// backoff guess from its pre-deployment characterization. The shmoo's
+/// own deliberate crashes are drained by the StressLog; only the chosen
+/// point is programmed into the MSRs.
+///
+/// The advisor query uses the node's *live* ambient (not the config's
+/// deploy-time value): a node rejoining mid cooling-failure must choose
+/// its point for the hot aisle it is actually in.
+#[must_use]
+pub fn recharacterize_node(
+    config: &DeploymentConfig,
+    node: &mut ServerNode,
+    advisor: &ModeAdvisor,
+) -> OperatingPoint {
+    let ambient = node.ambient();
+    let mut stresslog = StressLog::new(config.stress_params.clone());
+    let margins = stresslog.characterize(node, None);
+    let expected_workload = config
+        .guests
+        .first()
+        .map(|g| g.workload.clone())
+        .unwrap_or_else(WorkloadProfile::idle);
+    let point =
+        config.optimizer.choose(&config.spec, &margins, advisor, &expected_workload, ambient);
+    point.apply_to(node);
+    point
+}
+
 /// The deployed UniServer ecosystem.
 #[derive(Debug, Clone)]
 pub struct Ecosystem {
@@ -389,6 +420,29 @@ mod tests {
         assert_eq!(node.chip().speed_factor, eco.hypervisor().node().chip().speed_factor);
         // And the point is actually programmed into the MSRs.
         assert!(node.msr.voltage_offset_mv(0) > 0.0);
+    }
+
+    #[test]
+    fn recharacterize_node_measures_aged_margins_and_leaves_no_crash_feed() {
+        let config = DeploymentConfig::quick();
+        let advisor = crate::training::train_advisor(&config);
+        let (mut node, fresh_point) = provision_node(&config, 77, &advisor);
+        node.age_by_months(18.0);
+        let rejoined_point = recharacterize_node(&config, &mut node, &advisor);
+        assert!(
+            rejoined_point.min_offset_mv() <= fresh_point.min_offset_mv() + 1e-9,
+            "aged silicon cannot have more margin than its fresh self: {} vs {}",
+            rejoined_point.min_offset_mv(),
+            fresh_point.min_offset_mv()
+        );
+        assert!(rejoined_point.min_offset_mv() > 0.0, "re-shmoo still finds real margin");
+        // The shmoo crashed the node on purpose; none of that may leak
+        // into the cluster's service crash feed.
+        assert!(node.take_crash_events().is_empty(), "shmoo crashes must be drained");
+        assert!(!node.is_crashed());
+        // Pure in the node state: same node, same answer.
+        let again = recharacterize_node(&config, &mut node, &advisor);
+        assert_eq!(again.core_offsets_mv.len(), rejoined_point.core_offsets_mv.len());
     }
 
     #[test]

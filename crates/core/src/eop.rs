@@ -113,6 +113,11 @@ impl OperatingPoint {
     /// point, 1.0 = nominal): the post-crash backoff a cluster manager
     /// applies when a node's extended margins proved too aggressive.
     ///
+    /// Both axes clamp at nominal, so repeated backoffs converge to the
+    /// conservative point and can never overshoot past it — a negative
+    /// offset would *overdrive* the core above nominal voltage, turning
+    /// a safety retreat into extra stress.
+    ///
     /// # Panics
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
@@ -121,7 +126,7 @@ impl OperatingPoint {
         assert!((0.0..=1.0).contains(&fraction), "backoff fraction must be in [0, 1]");
         let keep = 1.0 - fraction;
         OperatingPoint {
-            core_offsets_mv: self.core_offsets_mv.iter().map(|mv| mv * keep).collect(),
+            core_offsets_mv: self.core_offsets_mv.iter().map(|mv| (mv * keep).max(0.0)).collect(),
             relaxed_refresh: Seconds::new(
                 NOMINAL_REFRESH_SECS
                     + (self.relaxed_refresh.as_secs() - NOMINAL_REFRESH_SECS).max(0.0) * keep,
@@ -188,5 +193,26 @@ mod tests {
     #[should_panic(expected = "aggressiveness")]
     fn invalid_aggressiveness_panics() {
         let _ = OperatingPoint::from_margins(&margins(), 1.5);
+    }
+
+    #[test]
+    fn backed_off_converges_to_nominal_and_never_past_it() {
+        let mut p = OperatingPoint::from_margins(&margins(), 1.0);
+        // A pathological point with an offset already past nominal (e.g.
+        // hand-tuned overdrive) must clamp, not amplify.
+        p.core_offsets_mv[2] = -5.0;
+        for _ in 0..20 {
+            p = p.backed_off(0.25);
+            assert!(
+                p.core_offsets_mv.iter().all(|&mv| mv >= 0.0),
+                "backoff must never overdrive past nominal: {:?}",
+                p.core_offsets_mv
+            );
+            assert!(p.relaxed_refresh.as_secs() >= NOMINAL_REFRESH_SECS - 1e-12);
+        }
+        // Twenty 25 % retreats of an 80 mV margin are sub-milli-volt.
+        assert!(p.core_offsets_mv[0] < 0.5);
+        assert!((p.backed_off(1.0).relaxed_refresh.as_secs() - NOMINAL_REFRESH_SECS).abs() < 1e-12);
+        assert!(p.backed_off(1.0).core_offsets_mv.iter().all(|&mv| mv == 0.0));
     }
 }

@@ -1,0 +1,267 @@
+//! The chaos engine: seeded fault campaigns against a serving cluster.
+//!
+//! Where the SDC campaign (this crate's root module) corrupts one
+//! hypervisor's objects in isolation, the chaos engine attacks a *rack*:
+//! independent per-node crash draws, correlated rack/PSU failures that
+//! take out a contiguous block of node indices at once, and cooling
+//! failures that step the ambient temperature for a window. Campaigns
+//! compose — a [`ChaosPlan`] is just a list — and stack with the traffic
+//! engine's flash crowds, so a headline run can lose an eighth of its
+//! rack in the middle of a demand spike.
+//!
+//! Everything is a pure function of `(seed, tick)` via the workspace's
+//! SplitMix64 sub-stream convention ([`salt::CHAOS`],
+//! [`salt::CHAOS_RACK`]): the same plan replayed at any worker count
+//! injects the same faults at the same ticks into the same nodes. The
+//! engine deliberately knows nothing about the cluster — it yields node
+//! *indices* and ambient deltas; the orchestrator owns turning those
+//! into crash events and MSR writes.
+
+use serde::{Deserialize, Serialize};
+
+use uniserver_silicon::rng::{salt, splitmix64, unit_fraction};
+
+/// One fault campaign of a chaos plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Campaign {
+    /// Independent node crashes: each online node fails a seeded
+    /// Bernoulli trial every tick of the window.
+    NodeCrashes {
+        /// Expected crashes per node per hour of simulated time.
+        rate_per_node_hour: f64,
+        /// First tick of the window (inclusive).
+        from_tick: u64,
+        /// Last tick of the window (exclusive); `u64::MAX` = open-ended.
+        until_tick: u64,
+    },
+    /// A correlated rack/PSU failure: one contiguous block of node
+    /// indices crashes in the same tick. The block's start is a seeded
+    /// draw; its width is a fraction of the fleet.
+    RackFailure {
+        /// The tick the PSU dies.
+        at_tick: u64,
+        /// Fraction of the fleet in the blast radius, `(0, 1]`.
+        blast_fraction: f64,
+    },
+    /// A cooling failure: the ambient (inlet) temperature of every node
+    /// steps up by `ambient_delta_c` for `duration_ticks`, then recovers.
+    CoolingFailure {
+        /// The tick the CRAC unit fails.
+        at_tick: u64,
+        /// How long the hot window lasts, in ticks.
+        duration_ticks: u64,
+        /// Ambient step while the cooling is down, in °C.
+        ambient_delta_c: f64,
+    },
+}
+
+/// A seeded schedule of fault campaigns.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// The campaigns, applied independently each tick.
+    pub campaigns: Vec<Campaign>,
+}
+
+impl ChaosPlan {
+    /// No chaos — every query returns nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        ChaosPlan { campaigns: Vec::new() }
+    }
+
+    /// The headline fault profile for a `ticks`-long horizon: a steady
+    /// background of independent node crashes (0.15 per node-hour), a
+    /// rack/PSU failure taking out 12.5 % of the fleet a third of the
+    /// way in, and a cooling failure stepping ambient +12 °C for a
+    /// sixth of the horizon starting at the halfway mark — deliberately
+    /// overlapping the flash-crowd traffic preset so lost capacity
+    /// meets peak demand.
+    #[must_use]
+    pub fn rack_and_flash(ticks: u64) -> Self {
+        ChaosPlan {
+            campaigns: vec![
+                Campaign::NodeCrashes {
+                    rate_per_node_hour: 0.15,
+                    from_tick: 0,
+                    until_tick: u64::MAX,
+                },
+                Campaign::RackFailure { at_tick: ticks / 3, blast_fraction: 0.125 },
+                Campaign::CoolingFailure {
+                    at_tick: ticks / 2,
+                    duration_ticks: ticks / 6,
+                    ambient_delta_c: 12.0,
+                },
+            ],
+        }
+    }
+
+    /// The node indices this plan crashes at `tick`, sorted and
+    /// deduplicated. Pure in `(seed, tick)` — the caller may query any
+    /// tick in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rack failure's blast fraction is outside `(0, 1]` or
+    /// a crash campaign's rate is negative.
+    #[must_use]
+    pub fn crash_indices_at(
+        &self,
+        seed: u64,
+        tick: u64,
+        tick_secs: f64,
+        nodes: u32,
+    ) -> Vec<u32> {
+        let mut hit = Vec::new();
+        for campaign in &self.campaigns {
+            match *campaign {
+                Campaign::NodeCrashes { rate_per_node_hour, from_tick, until_tick } => {
+                    assert!(rate_per_node_hour >= 0.0, "crash rate must be non-negative");
+                    if tick < from_tick || tick >= until_tick {
+                        continue;
+                    }
+                    let p = (rate_per_node_hour / 3600.0 * tick_secs).min(1.0);
+                    for node in 0..nodes {
+                        let word = splitmix64(
+                            seed ^ salt::CHAOS
+                                ^ u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ tick.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                        );
+                        if unit_fraction(word) < p {
+                            hit.push(node);
+                        }
+                    }
+                }
+                Campaign::RackFailure { at_tick, blast_fraction } => {
+                    assert!(
+                        blast_fraction > 0.0 && blast_fraction <= 1.0,
+                        "blast fraction must be in (0, 1], got {blast_fraction}"
+                    );
+                    if tick != at_tick {
+                        continue;
+                    }
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let width =
+                        ((f64::from(nodes) * blast_fraction).round() as u32).clamp(1, nodes);
+                    let span = u64::from(nodes - width) + 1;
+                    let word = splitmix64(seed ^ salt::CHAOS_RACK ^ at_tick);
+                    #[allow(clippy::cast_possible_truncation)]
+                    let start = (word % span) as u32;
+                    hit.extend(start..start + width);
+                }
+                Campaign::CoolingFailure { .. } => {}
+            }
+        }
+        hit.sort_unstable();
+        hit.dedup();
+        hit
+    }
+
+    /// The ambient step (°C above the deployment baseline) in force at
+    /// `tick` — overlapping cooling failures stack.
+    #[must_use]
+    pub fn ambient_delta_at(&self, tick: u64) -> f64 {
+        self.campaigns
+            .iter()
+            .map(|c| match *c {
+                Campaign::CoolingFailure { at_tick, duration_ticks, ambient_delta_c }
+                    if tick >= at_tick && tick < at_tick.saturating_add(duration_ticks) =>
+                {
+                    ambient_delta_c
+                }
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let plan = ChaosPlan::none();
+        for tick in 0..100 {
+            assert!(plan.crash_indices_at(1, tick, 5.0, 64).is_empty());
+            assert_eq!(plan.ambient_delta_at(tick), 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_draws_are_pure_sorted_and_rate_shaped() {
+        let plan = ChaosPlan {
+            campaigns: vec![Campaign::NodeCrashes {
+                rate_per_node_hour: 2.0,
+                from_tick: 10,
+                until_tick: 500,
+            }],
+        };
+        let mut total = 0usize;
+        for tick in 0..500u64 {
+            let a = plan.crash_indices_at(42, tick, 5.0, 256);
+            let b = plan.crash_indices_at(42, tick, 5.0, 256);
+            assert_eq!(a, b, "draws must be pure in (seed, tick)");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(tick >= 10 || a.is_empty(), "window not open yet");
+            total += a.len();
+        }
+        // 256 nodes x 490 ticks x (2/3600 x 5) ≈ 348 expected crashes.
+        assert!((200..520).contains(&total), "rate shaping is off: {total} crashes");
+        let schedule = |seed: u64| -> Vec<Vec<u32>> {
+            (0..500).map(|t| plan.crash_indices_at(seed, t, 5.0, 256)).collect()
+        };
+        assert_ne!(schedule(42), schedule(43), "seeds must decorrelate campaigns");
+    }
+
+    #[test]
+    fn rack_failure_is_one_contiguous_block_once() {
+        let plan = ChaosPlan {
+            campaigns: vec![Campaign::RackFailure { at_tick: 240, blast_fraction: 0.125 }],
+        };
+        for tick in 0..720u64 {
+            let hit = plan.crash_indices_at(7, tick, 5.0, 256);
+            if tick == 240 {
+                assert_eq!(hit.len(), 32, "12.5 % of 256 nodes");
+                assert!(
+                    hit.windows(2).all(|w| w[1] == w[0] + 1),
+                    "blast radius is contiguous: {hit:?}"
+                );
+                assert!(*hit.last().unwrap() < 256, "blast stays inside the fleet");
+            } else {
+                assert!(hit.is_empty(), "the PSU dies exactly once");
+            }
+        }
+        // Tiny fleets still lose at least one node.
+        let small = plan.crash_indices_at(7, 240, 5.0, 4);
+        assert_eq!(small.len(), 1);
+    }
+
+    #[test]
+    fn cooling_failure_steps_ambient_for_its_window() {
+        let plan = ChaosPlan {
+            campaigns: vec![Campaign::CoolingFailure {
+                at_tick: 100,
+                duration_ticks: 50,
+                ambient_delta_c: 12.0,
+            }],
+        };
+        assert_eq!(plan.ambient_delta_at(99), 0.0);
+        assert_eq!(plan.ambient_delta_at(100), 12.0);
+        assert_eq!(plan.ambient_delta_at(149), 12.0);
+        assert_eq!(plan.ambient_delta_at(150), 0.0);
+        assert!(plan.crash_indices_at(1, 100, 5.0, 64).is_empty(), "heat is not a crash");
+    }
+
+    #[test]
+    fn campaigns_compose() {
+        let plan = ChaosPlan::rack_and_flash(720);
+        let rack_tick = 240u64;
+        let hit = plan.crash_indices_at(9, rack_tick, 5.0, 256);
+        assert!(hit.len() >= 32, "rack blast plus background crashes");
+        assert!(hit.windows(2).all(|w| w[0] < w[1]), "merged draws stay sorted/deduped");
+        assert_eq!(plan.ambient_delta_at(360), 12.0, "cooling fails at the halfway mark");
+        let crashes_somewhere: usize =
+            (0..720).map(|t| plan.crash_indices_at(9, t, 5.0, 256).len()).sum();
+        assert!(crashes_somewhere > 32, "background campaign fires too");
+    }
+}

@@ -26,6 +26,10 @@
 //! assert!(fig4.total_with_load() > 8 * fig4.total_without_load());
 //! ```
 
+pub mod chaos;
+
+pub use chaos::{Campaign, ChaosPlan};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};

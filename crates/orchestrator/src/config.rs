@@ -4,9 +4,11 @@ use serde::{Deserialize, Serialize};
 use uniserver_units::Seconds;
 
 use uniserver_cloudmgr::cluster::ClusterConfig;
+use uniserver_cloudmgr::lifecycle::FailureLifecycle;
 use uniserver_cloudmgr::stream::VmStream;
 use uniserver_core::ecosystem::DeploymentConfig;
 use uniserver_core::optimizer::EopOptimizer;
+use uniserver_faultinject::chaos::ChaosPlan;
 use uniserver_hypervisor::vm::VmConfig;
 
 /// Which margins the fleet's nodes deploy at.
@@ -110,6 +112,15 @@ pub struct OrchestratorConfig {
     /// window, where NBTI drift has eroded the margins the StressLog
     /// measured at deploy time (§3.D). Zero = freshly characterized.
     pub age_months: f64,
+    /// The node failure lifecycle. Disabled (the default), crashed
+    /// nodes recover in place with the geometric EOP backoff — the
+    /// legacy behavior, preserved draw-for-draw. Enabled, a crash takes
+    /// the node offline for a seeded MTTR window and it rejoins through
+    /// a re-characterization pass.
+    pub lifecycle: FailureLifecycle,
+    /// Seeded fault campaigns injected on top of the fleet's natural
+    /// crashes. `None` (the default) = no chaos.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl OrchestratorConfig {
@@ -145,6 +156,8 @@ impl OrchestratorConfig {
             margins: MarginPolicy::Extended,
             crash_backoff: 0.25,
             age_months: 18.0,
+            lifecycle: FailureLifecycle::disabled(),
+            chaos: None,
         }
     }
 
@@ -171,6 +184,22 @@ impl OrchestratorConfig {
             admission: AdmissionPolicy::gold_priority(),
             ..OrchestratorConfig::datacenter(nodes, seed)
         }
+    }
+
+    /// The chaos headline: the flash-crowd rack under the failure
+    /// lifecycle and the [`ChaosPlan::rack_and_flash`] fault profile —
+    /// a steady background of independent node crashes, a rack/PSU
+    /// failure taking out 12.5 % of the fleet a third of the way in,
+    /// and a cooling failure overlapping the traffic peak. Crashed
+    /// nodes go offline for a seeded 12–96-tick repair and rejoin
+    /// through re-characterization; load sheds bronze-first while
+    /// capacity is short.
+    #[must_use]
+    pub fn chaos_profile(nodes: usize, seed: u64) -> Self {
+        let mut config = OrchestratorConfig::flash_crowd(nodes, seed);
+        config.lifecycle = FailureLifecycle::standard();
+        config.chaos = Some(ChaosPlan::rack_and_flash(config.ticks()));
+        config
     }
 
     /// Ticks the horizon divides into (the last, possibly partial, tick

@@ -16,7 +16,7 @@ use std::time::Instant;
 use uniserver_cloudmgr::cluster::Cluster;
 use uniserver_cloudmgr::node::{ManagedNode, NodeId};
 use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
-use uniserver_core::ecosystem::{provision_node, DeploymentConfig};
+use uniserver_core::ecosystem::{provision_node, recharacterize_node, DeploymentConfig};
 use uniserver_core::eop::OperatingPoint;
 use uniserver_core::training::AdvisorCache;
 use uniserver_platform::node::ServerNode;
@@ -102,7 +102,7 @@ fn deploy_one(config: &OrchestratorConfig, cache: &AdvisorCache, node: usize) ->
 #[must_use]
 pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode>, f64, usize) {
     let pool = ShardPool::new(resolve_workers(config.threads, config.cluster.nodes));
-    let (cluster, records, secs) = deploy_cluster_on(config, &pool);
+    let (cluster, records, secs, _) = deploy_cluster_on(config, &pool);
     (cluster, records, secs, pool.workers())
 }
 
@@ -115,6 +115,10 @@ pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode
 /// reassemble in job-index order — any worker count produces the
 /// identical cluster.
 ///
+/// The advisor cache is returned alongside the cluster so rejoin-time
+/// re-characterizations ([`rejoin_node`]) reuse the per-part models
+/// trained at deploy time instead of retraining mid-run.
+///
 /// # Panics
 ///
 /// Panics if the cluster has zero nodes or a worker panics.
@@ -122,7 +126,7 @@ pub fn deploy_cluster(config: &OrchestratorConfig) -> (Cluster, Vec<DeployedNode
 pub fn deploy_cluster_on(
     config: &OrchestratorConfig,
     pool: &ShardPool,
-) -> (Cluster, Vec<DeployedNode>, f64) {
+) -> (Cluster, Vec<DeployedNode>, f64, Arc<AdvisorCache>) {
     let nodes = config.cluster.nodes;
     assert!(nodes > 0, "a cluster needs nodes");
     let workers = pool.workers().min(nodes);
@@ -165,7 +169,34 @@ pub fn deploy_cluster_on(
     let mut cluster =
         Cluster::from_nodes(managed, config.cluster.scheduler, config.cluster.migration);
     cluster.set_linear_placement(config.linear_placement);
-    (cluster, records, deploy_secs)
+    (cluster, records, deploy_secs, cache)
+}
+
+/// Re-characterizes one repaired node in place — the rejoin path of the
+/// failure lifecycle. Extended racks re-run the StressLog shmoo on the
+/// node *as it is now* (aged silicon, live ambient) and re-choose the
+/// operating point against the deploy-time advisor; nominal racks
+/// simply re-program the conservative point. Returns the point now in
+/// the node's MSRs.
+#[must_use]
+pub fn rejoin_node(
+    config: &OrchestratorConfig,
+    cache: &AdvisorCache,
+    node: usize,
+    server: &mut ServerNode,
+) -> OperatingPoint {
+    let dep = node_deployment(config, node);
+    match config.margins {
+        MarginPolicy::Extended => {
+            let advisor = cache.get_or_train(&dep).advisor;
+            recharacterize_node(&dep, server, &advisor)
+        }
+        MarginPolicy::Nominal => {
+            let point = OperatingPoint::nominal(dep.spec.cores);
+            point.apply_to(server);
+            point
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +224,7 @@ mod tests {
         let config = OrchestratorConfig::smoke(5, 23);
         let (_, transient, _, _) = deploy_cluster(&config);
         let pool = ShardPool::new(2);
-        let (cluster, pooled, secs) = deploy_cluster_on(&config, &pool);
+        let (cluster, pooled, secs, _) = deploy_cluster_on(&config, &pool);
         assert_eq!(transient, pooled, "pool reuse must not perturb any node");
         assert_eq!(cluster.nodes().len(), 5);
         assert!(secs > 0.0);
@@ -219,6 +250,34 @@ mod tests {
             assert_eq!(rec.point.min_offset_mv(), 0.0);
             assert_eq!(node.hypervisor.node().msr.voltage_offset_mv(0), 0.0);
         }
+    }
+
+    #[test]
+    fn rejoin_recharacterizes_extended_racks_and_renominalizes_nominal_ones() {
+        let config = OrchestratorConfig::smoke(2, 19);
+        let pool = ShardPool::new(1);
+        let (mut cluster, records, _, cache) = deploy_cluster_on(&config, &pool);
+        let rejoined =
+            rejoin_node(&config, &cache, 0, cluster.nodes_mut()[0].hypervisor.node_mut());
+        assert!(rejoined.min_offset_mv() > 0.0, "the re-shmoo still finds real margin");
+        assert!(
+            rejoined.min_offset_mv() <= records[0].point.min_offset_mv() + 1e-9,
+            "18 months of aging cannot leave MORE margin than the fresh deploy measured: \
+             {} vs {}",
+            rejoined.min_offset_mv(),
+            records[0].point.min_offset_mv()
+        );
+        // The chosen point is actually programmed into the MSRs.
+        let msr_mv = cluster.nodes()[0].hypervisor.node().msr.voltage_offset_mv(0);
+        assert!((msr_mv - rejoined.core_offsets_mv[0].min(250.0)).abs() < 1e-9);
+
+        let nominal =
+            OrchestratorConfig { margins: MarginPolicy::Nominal, ..OrchestratorConfig::smoke(2, 19) };
+        let (mut cluster, _, _, cache) = deploy_cluster_on(&nominal, &pool);
+        let point =
+            rejoin_node(&nominal, &cache, 1, cluster.nodes_mut()[1].hypervisor.node_mut());
+        assert_eq!(point.min_offset_mv(), 0.0, "nominal racks rejoin at nominal");
+        assert_eq!(cluster.nodes()[1].hypervisor.node().msr.voltage_offset_mv(0), 0.0);
     }
 
     #[test]

@@ -39,7 +39,11 @@ mod serve;
 pub mod summary;
 
 pub use config::{AdmissionPolicy, MarginPolicy, OrchestratorConfig};
-pub use deploy::{deploy_cluster, DeployedNode};
+pub use deploy::{deploy_cluster, rejoin_node, DeployedNode};
 pub use events::{Event, EventQueue};
 pub use orchestrator::{compare, run, run_timed};
-pub use summary::{ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics};
+pub use summary::{
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+};
+pub use uniserver_cloudmgr::lifecycle::{FailureLifecycle, NodePhase};
+pub use uniserver_faultinject::chaos::{Campaign, ChaosPlan};

@@ -18,9 +18,18 @@
 //!    node-index order;
 //! 4. for every crashed node (deduplicated: several same-tick crash
 //!    events still recover once), run failure-driven recovery (migrate
-//!    what fits elsewhere, evict the rest) and re-deploy the node at a
-//!    backed-off operating point (firmware cleared its undervolts on
-//!    reboot).
+//!    what fits elsewhere, evict the rest). With the failure lifecycle
+//!    disabled the node re-deploys in place at a backed-off operating
+//!    point (firmware cleared its undervolts on reboot); enabled, the
+//!    crash *costs capacity* — the node goes offline for a seeded MTTR
+//!    window (excluded from placement, ticking, energy and the crash
+//!    surface) and rejoins through a re-characterization pass. A
+//!    [`crate::config::OrchestratorConfig::chaos`] plan injects seeded
+//!    fault campaigns — background node crashes, correlated rack/PSU
+//!    failures, cooling-failure ambient steps — on top of the natural
+//!    crash stream, and while capacity is degraded premium re-offers
+//!    shed bronze-first ([`crate::config::OrchestratorConfig`]'s
+//!    lifecycle `shed` knob).
 //!
 //! After the loop, events due in the final `(last tick start, horizon]`
 //! window are drained so end-of-horizon departures and settlements are
@@ -33,17 +42,20 @@
 //! byte-stable for any worker count (`threads` drives deploy *and*
 //! serve).
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use uniserver_cloudmgr::node::NodeId;
 use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
-use uniserver_units::Seconds;
+use uniserver_platform::node::CrashEvent;
+use uniserver_units::{Celsius, Seconds, Volts};
 
 use crate::config::{MarginPolicy, OrchestratorConfig};
-use crate::deploy::deploy_cluster_on;
+use crate::deploy::{deploy_cluster_on, rejoin_node};
 use crate::events::EventQueue;
-use crate::serve::{RetryQueue, ServeCounters};
+use crate::serve::{CrashPolicy, RetryQueue, ServeCounters};
 use crate::summary::{
-    ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
 };
 
 /// Runs one orchestrated scenario.
@@ -78,7 +90,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     // paying a `thread::scope` spawn per tick.
     let workers = resolve_workers(config.threads, config.cluster.nodes);
     let pool = ShardPool::new(workers);
-    let (mut cluster, records, deploy_secs) = deploy_cluster_on(config, &pool);
+    let (mut cluster, records, deploy_secs, cache) = deploy_cluster_on(config, &pool);
     let mut points: Vec<_> = records.iter().map(|r| r.point.clone()).collect();
     // Part-mix index per node, resolved once for crash attribution.
     let node_parts: Vec<Option<usize>> = records
@@ -92,6 +104,15 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     let mut per_tick = Vec::with_capacity(ticks as usize);
     let mut c = ServeCounters::new(config.cluster.part_mix.len());
     let mut retry = RetryQueue::new(config.admission);
+    let crash_policy = CrashPolicy {
+        margins: config.margins,
+        backoff: config.crash_backoff,
+        lifecycle: config.lifecycle,
+        seed: config.seed,
+    };
+    // The cooling-failure ambient step currently programmed into the
+    // fleet (0 = the deploy-time baseline).
+    let mut ambient_applied = 0.0f64;
 
     for tick in 0..ticks {
         let now = Seconds::new(tick as f64 * dt.as_secs());
@@ -102,13 +123,26 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         let mut t_offered = 0u64;
         let mut t_placed = 0u64;
 
+        // --- 0. Repairs tick down; nodes whose MTTR window just closed
+        // rejoin through a re-characterization pass — extended racks
+        // re-shmoo the silicon *as it is now* (aged, at its live
+        // ambient) instead of applying a geometric backoff.
+        for id in cluster.tick_repairs() {
+            let idx = id.0 as usize;
+            points[idx] =
+                rejoin_node(config, &cache, idx, cluster.nodes_mut()[idx].hypervisor.node_mut());
+            cluster.complete_rejoin(id);
+            c.rejoins += 1;
+        }
+
         // --- 1. Due events, earliest first.
         let t_completed = c.drain_due(&mut queue, &mut cluster, now);
 
         // --- 2a. Queued rejections re-offer first, gold before silver,
         // into whatever capacity the departures just freed. (Empty —
         // and free — under the default drop-all admission policy.)
-        t_placed += c.reoffer_pending(&mut retry, &mut cluster, &mut queue, now);
+        t_placed +=
+            c.reoffer_pending(&mut retry, &mut cluster, &mut queue, now, config.lifecycle.shed);
 
         // --- 2b. This tick's arrival batch, from its own sub-stream,
         // drawn at the rack's capacity-scaled rate.
@@ -121,8 +155,26 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             }
         }
 
+        // --- 2c. Cooling-failure campaigns step the whole fleet's
+        // ambient above the deploy-time baseline while they are in
+        // force (offline nodes included — the hot aisle does not care).
+        if let Some(plan) = &config.chaos {
+            let delta = plan.ambient_delta_at(tick);
+            if delta != ambient_applied {
+                for (managed, rec) in cluster.nodes_mut().iter_mut().zip(&records) {
+                    managed
+                        .hypervisor
+                        .node_mut()
+                        .set_ambient(rec.ambient + Celsius::new(delta));
+                }
+                ambient_applied = delta;
+            }
+        }
+
         // --- 3. Advance the fleet, sharded across the run's pool.
-        let report = cluster.tick_pooled(step, &pool);
+        // Offline nodes are skipped wholesale: no energy, no load, no
+        // crash surface while they repair.
+        let mut report = cluster.tick_pooled(step, &pool);
         c.energy_j += report.energy.as_joules();
         let mut t_migrations = report.proactive_migrations;
         let tick_end = now + step;
@@ -133,7 +185,33 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             c.charge_eviction(lost);
         }
 
-        // --- 4. Failure-driven recovery, once per crashed node.
+        // --- 3b. Chaos-plan crash injection: seeded fault campaigns
+        // surface synthetic power-loss events (voltage 0) alongside the
+        // tick's natural crashes. Already-offline nodes cannot crash
+        // again.
+        if let Some(plan) = &config.chaos {
+            #[allow(clippy::cast_possible_truncation)]
+            let fleet_width = config.cluster.nodes as u32;
+            for idx in plan.crash_indices_at(config.seed, tick, step.as_secs(), fleet_width) {
+                if !cluster.nodes()[idx as usize].is_online() {
+                    continue;
+                }
+                report.crashes.push((
+                    NodeId(idx),
+                    CrashEvent {
+                        core: 0,
+                        at: tick_end,
+                        voltage: Volts::new(0.0),
+                        workload: Arc::from("chaos"),
+                    },
+                ));
+                c.injected_crashes += 1;
+            }
+        }
+
+        // --- 4. Failure-driven recovery, once per crashed node. Under
+        // the lifecycle, recovery evacuates the node and takes it
+        // offline for its seeded MTTR window.
         t_migrations += c.recover_crashes(
             &mut cluster,
             &mut queue,
@@ -141,9 +219,16 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
             &node_parts,
             &report.crashes,
             tick_end,
-            config.margins,
-            config.crash_backoff,
+            tick,
+            &crash_policy,
         );
+
+        // --- 5. Downtime accrual: every tick a node spends offline is
+        // real lost capacity (a freshly-crashed node's window starts
+        // this tick; a rejoining node stopped counting at tick start).
+        let offline = cluster.offline_count();
+        c.downtime_secs += step.as_secs() * offline as f64;
+        c.peak_offline = c.peak_offline.max(offline as u64);
 
         per_tick.push(TickMetrics {
             tick,
@@ -216,6 +301,7 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         rejected: c.rejected,
         retried: c.retried,
         abandoned: c.abandoned,
+        expired_at_horizon: c.expired_at_horizon,
         completed: c.completed,
         evicted: c.evicted,
         live_at_end: cluster.placements().len() as u64,
@@ -234,6 +320,19 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         per_class: c.per_class,
         per_part,
         per_tick,
+        chaos: (config.lifecycle.enabled || config.chaos.is_some()).then(|| {
+            let node_secs = config.cluster.nodes as f64 * config.horizon.as_secs();
+            ChaosOutcome {
+                injected_crashes: c.injected_crashes,
+                nodes_offlined: c.nodes_offlined,
+                rejoins: c.rejoins,
+                peak_offline: c.peak_offline,
+                downtime_secs: c.downtime_secs,
+                lost_capacity_node_hours: c.downtime_secs / 3600.0,
+                availability: 1.0 - c.downtime_secs / node_secs,
+                shed: c.shed,
+            }
+        }),
     };
     let timing = OrchestratorTiming {
         wall_ms: wall_start.elapsed().as_secs_f64() * 1e3,
@@ -358,6 +457,75 @@ mod tests {
         assert_eq!(a, b, "worker count must never leak into the summary");
         let c = run(&OrchestratorConfig { seed: 10, ..config });
         assert_ne!(a, c, "a different seed must produce a different run");
+    }
+
+    #[test]
+    fn legacy_configs_report_no_chaos_outcome() {
+        let summary = run(&OrchestratorConfig::smoke(4, 42));
+        assert!(summary.chaos.is_none(), "lifecycle off + no plan must keep the legacy shape");
+        assert_eq!(summary.expired_at_horizon, 0, "drop-all leaves nothing queued to expire");
+    }
+
+    #[test]
+    fn chaos_profile_costs_real_capacity_and_repairs_it() {
+        let mut config = OrchestratorConfig::chaos_profile(12, 42);
+        config.horizon = Seconds::new(900.0);
+        // Re-derive the plan for the shortened horizon so the rack and
+        // cooling failures land inside it.
+        config.chaos = Some(uniserver_faultinject::chaos::ChaosPlan::rack_and_flash(config.ticks()));
+        let summary = run(&config);
+        let chaos = summary.chaos.expect("the chaos profile must report an outcome");
+
+        assert!(chaos.injected_crashes > 0, "the plan must inject crashes");
+        assert!(chaos.nodes_offlined > 0, "lifecycle crashes must cost capacity");
+        assert!(chaos.downtime_secs > 0.0, "offline windows must accrue downtime");
+        assert!(chaos.rejoins > 0, "a 15-minute horizon must complete some 1–8 min repairs");
+        assert!(chaos.peak_offline >= 1);
+        assert!(chaos.availability < 1.0, "lost capacity must show in availability");
+        assert!(chaos.availability > 0.0);
+        assert!(
+            (chaos.lost_capacity_node_hours - chaos.downtime_secs / 3600.0).abs() < 1e-12,
+            "node-hours is the same downtime in different units"
+        );
+        // The accounting invariants hold under chaos too.
+        assert_eq!(summary.offered, summary.placed + summary.abandoned);
+        assert_eq!(
+            summary.placed,
+            summary.completed + summary.evicted + summary.live_at_end
+        );
+        assert!(
+            summary.crashes >= chaos.injected_crashes,
+            "injected events are counted in the crash total"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_for_any_worker_count() {
+        let mut config = OrchestratorConfig::chaos_profile(8, 7);
+        config.horizon = Seconds::new(600.0);
+        config.chaos = Some(uniserver_faultinject::chaos::ChaosPlan::rack_and_flash(config.ticks()));
+        config.threads = 1;
+        let a = run(&config);
+        config.threads = 4;
+        let b = run(&config);
+        assert_eq!(a, b, "worker count must never leak into a chaos summary");
+        let chaos = a.chaos.expect("chaos outcome present");
+        assert!(chaos.nodes_offlined > 0, "the 600 s profile must offline nodes");
+    }
+
+    #[test]
+    fn offline_nodes_are_excluded_from_placement_until_rejoin() {
+        // Lifecycle on, no chaos plan: only natural crashes offline
+        // nodes, and every placement must respect the exclusion.
+        let mut config = OrchestratorConfig::smoke(6, 9);
+        config.lifecycle = uniserver_cloudmgr::lifecycle::FailureLifecycle::standard();
+        let summary = run(&config);
+        let chaos = summary.chaos.expect("lifecycle alone must report an outcome");
+        if summary.crashes > 0 {
+            assert!(chaos.nodes_offlined > 0, "every crashed node must go offline");
+            assert!(chaos.downtime_secs > 0.0);
+        }
+        assert_eq!(summary.offered, summary.placed + summary.abandoned);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::collections::VecDeque;
 
 use uniserver_cloudmgr::cluster::{Cluster, Placement};
+use uniserver_cloudmgr::lifecycle::FailureLifecycle;
 use uniserver_cloudmgr::node::NodeId;
 use uniserver_cloudmgr::sla::SlaClass;
 use uniserver_cloudmgr::stream::Arrival;
@@ -96,6 +97,21 @@ pub(crate) struct ServeCounters {
     /// Crash events attributed per part-mix entry.
     pub part_crashes: Vec<u64>,
     pub energy_j: f64,
+    /// Of `abandoned`: still queued when the horizon flushed them.
+    pub expired_at_horizon: u64,
+    /// Placements shed (bronze first) to free capacity for premium
+    /// re-offers while nodes were offline.
+    pub shed: u64,
+    /// Synthetic crash events injected by the chaos plan.
+    pub injected_crashes: u64,
+    /// Times a crashed node was taken offline for repair (lifecycle).
+    pub nodes_offlined: u64,
+    /// Repairs that finished and rejoined within the horizon.
+    pub rejoins: u64,
+    /// Summed offline node-seconds.
+    pub downtime_secs: f64,
+    /// Peak simultaneously-offline node count.
+    pub peak_offline: u64,
 }
 
 impl ServeCounters {
@@ -116,6 +132,13 @@ impl ServeCounters {
             per_class: [ClassStats::default(); 3],
             part_crashes: vec![0; parts],
             energy_j: 0.0,
+            expired_at_horizon: 0,
+            shed: 0,
+            injected_crashes: 0,
+            nodes_offlined: 0,
+            rejoins: 0,
+            downtime_secs: 0.0,
+            peak_offline: 0,
         }
     }
 
@@ -195,12 +218,19 @@ impl ServeCounters {
     /// that fails again burns one unit of budget and requeues behind
     /// them for the next tick (or abandons at zero). Returns the
     /// placements made, for the per-tick series.
+    ///
+    /// With `shed` set (graceful degradation), a premium re-offer that
+    /// fails *while nodes are offline* sheds one lower-class placement
+    /// — bronze first — so the next tick's re-offer lands in the freed
+    /// slot; a shed counts as an eviction, so the SLA books still tie
+    /// out.
     pub fn reoffer_pending(
         &mut self,
         retry: &mut RetryQueue,
         cluster: &mut Cluster,
         queue: &mut EventQueue,
         now: Seconds,
+        shed: bool,
     ) -> u64 {
         let mut placed_now = 0;
         for class in 0..3 {
@@ -225,6 +255,11 @@ impl ServeCounters {
                             Some(config) => {
                                 p.arrival.config = config;
                                 retry.pending[class].push_back(p);
+                                // Degraded capacity plus a premium
+                                // arrival still waiting: make room.
+                                if shed && class < 2 && cluster.offline_count() > 0 {
+                                    self.shed_lowest(cluster, class);
+                                }
                             }
                             None => self.abandon(class),
                         }
@@ -235,12 +270,41 @@ impl ServeCounters {
         placed_now
     }
 
+    /// Sheds one placement of the lowest class below `above_class` —
+    /// bronze before silver, and within a class the youngest placement
+    /// (highest [`Placement`] id) — stopping its VM early. The shed is
+    /// charged as an eviction (it *is* an SLA violation) and its later
+    /// departure event no-ops. Returns whether a victim existed.
+    fn shed_lowest(&mut self, cluster: &mut Cluster, above_class: usize) -> bool {
+        for class in ((above_class + 1)..3).rev() {
+            let victim = cluster
+                .placements()
+                .iter()
+                .filter(|p| class_idx(p.class) == class)
+                .max_by_key(|p| p.id)
+                .cloned();
+            if let Some(victim) = victim {
+                let terminated = cluster.terminate_by_id(victim.id);
+                debug_assert!(terminated, "a tracked placement terminates exactly once");
+                self.shed += 1;
+                self.per_class[class].shed += 1;
+                self.charge_eviction(&victim);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Abandons everything still queued — called once when the horizon
-    /// ends, so `offered = placed + abandoned` ties out.
+    /// ends, so `offered = placed + abandoned` ties out. These drops are
+    /// counted separately from budget-exhausted abandons: the horizon
+    /// expired them while they were still waiting for a verdict.
     pub fn flush_pending(&mut self, retry: &mut RetryQueue) {
         for class in 0..3 {
             while retry.pending[class].pop_front().is_some() {
                 self.abandon(class);
+                self.expired_at_horizon += 1;
+                self.per_class[class].expired_at_horizon += 1;
             }
         }
     }
@@ -260,10 +324,19 @@ impl ServeCounters {
 
     /// Failure-driven recovery for one tick's surfaced crash events.
     ///
-    /// `crashes` / `part_crashes` count per *event*; recovery and the
-    /// EOP backoff run once per crashed *node* (deduplicated in
-    /// first-observation order), so a node surfacing several events in
-    /// one tick is not backed off towards nominal multiple times.
+    /// `crashes` / `part_crashes` count per *event*; recovery — and the
+    /// EOP backoff or the offline transition — runs once per crashed
+    /// *node* (deduplicated in first-observation order), so a node
+    /// surfacing several events in one tick is not backed off towards
+    /// nominal multiple times, nor offlined twice.
+    ///
+    /// With the failure lifecycle disabled (legacy), an Extended node
+    /// recovers in place and re-deploys at a backed-off point. Enabled,
+    /// the crash has a *cost in capacity*: the node is evacuated and
+    /// taken offline for a seeded MTTR window, and its operating point
+    /// is left alone — the rejoin re-characterization pass, not a
+    /// geometric backoff, decides where it comes back.
+    ///
     /// Returns the migrations performed (the per-tick series' column).
     #[allow(clippy::too_many_arguments)]
     pub fn recover_crashes(
@@ -274,8 +347,8 @@ impl ServeCounters {
         node_parts: &[Option<usize>],
         crashes: &[(NodeId, CrashEvent)],
         tick_end: Seconds,
-        margins: MarginPolicy,
-        backoff: f64,
+        tick: u64,
+        policy: &CrashPolicy,
     ) -> u64 {
         let mut crashed: Vec<NodeId> = Vec::new();
         for (node_id, _event) in crashes {
@@ -289,6 +362,9 @@ impl ServeCounters {
         }
         let mut migrations = 0;
         for node_id in crashed {
+            if policy.lifecycle.enabled {
+                cluster.mark_crashed(node_id);
+            }
             let recovery = cluster.recover_from_crash(node_id);
             for (moved, cost) in &recovery.migrated {
                 self.crash_migrations += 1;
@@ -304,17 +380,39 @@ impl ServeCounters {
             for lost in &recovery.evicted {
                 self.charge_eviction(lost);
             }
-            // Reboot firmware cleared the undervolts: re-deploy the
-            // node at a backed-off point instead of silently running
-            // nominal (or leave nominal racks alone).
-            if margins == MarginPolicy::Extended {
+            if policy.lifecycle.enabled {
+                // The crash costs capacity, not margin: the node leaves
+                // the fleet for its repair window and the rejoin
+                // re-shmoo re-derives its operating point honestly.
+                let mttr = policy.lifecycle.draw_mttr(policy.seed, node_id, tick);
+                cluster.begin_repair(node_id, mttr);
+                self.nodes_offlined += 1;
+            } else if policy.margins == MarginPolicy::Extended {
+                // Reboot firmware cleared the undervolts: re-deploy the
+                // node at a backed-off point instead of silently running
+                // nominal (or leave nominal racks alone).
                 let idx = node_id.0 as usize;
-                points[idx] = points[idx].backed_off(backoff);
+                points[idx] = points[idx].backed_off(policy.backoff);
                 points[idx].apply_to(cluster.nodes_mut()[idx].hypervisor.node_mut());
             }
         }
         migrations
     }
+}
+
+/// How the serving loop treats a crashed node — the legacy in-place
+/// recovery knobs plus the failure lifecycle that supersedes them.
+pub(crate) struct CrashPolicy {
+    /// Fleet margin policy (nominal racks never back off).
+    pub margins: MarginPolicy,
+    /// Legacy geometric EOP backoff fraction, used only with the
+    /// lifecycle disabled.
+    pub backoff: f64,
+    /// The failure lifecycle; enabled, crashes cost capacity (offline
+    /// MTTR window + rejoin re-characterization) instead of margin.
+    pub lifecycle: FailureLifecycle,
+    /// Scenario seed, for the pure per-`(node, tick)` MTTR draw.
+    pub seed: u64,
 }
 
 #[cfg(test)]
@@ -348,6 +446,17 @@ mod tests {
         cluster
     }
 
+    /// The pre-lifecycle crash policy: recover in place with the
+    /// config's geometric backoff.
+    fn legacy_policy(config: &OrchestratorConfig) -> CrashPolicy {
+        CrashPolicy {
+            margins: config.margins,
+            backoff: config.crash_backoff,
+            lifecycle: FailureLifecycle::disabled(),
+            seed: config.seed,
+        }
+    }
+
     #[test]
     fn gold_rejection_abandons_only_after_retries_exhaust() {
         let mut cluster = overloaded_rack(7);
@@ -363,8 +472,13 @@ mod tests {
         // Re-offer against a still-full rack: each tick burns one unit
         // of the gold budget (4), and only exhaustion abandons.
         for attempt in 1..=4u64 {
-            let placed =
-                c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(attempt as f64 * 5.0));
+            let placed = c.reoffer_pending(
+                &mut retry,
+                &mut cluster,
+                &mut queue,
+                Seconds::new(attempt as f64 * 5.0),
+                false,
+            );
             assert_eq!(placed, 0);
             assert_eq!(c.per_class[0].retried, attempt);
             if attempt < 4 {
@@ -391,7 +505,7 @@ mod tests {
         let victim = cluster.placements()[0].id;
         assert!(cluster.terminate_by_id(victim));
         // … and the next re-offer claims it.
-        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0));
+        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), false);
         assert_eq!(placed, 1);
         assert_eq!(c.per_class[0].placed, 1);
         assert_eq!(c.per_class[0].retried, 1);
@@ -428,6 +542,8 @@ mod tests {
         c.flush_pending(&mut retry);
         assert_eq!(retry.pending_len(), 0);
         assert_eq!(c.abandoned, 3);
+        assert_eq!(c.expired_at_horizon, 3, "horizon drops are annotated as expirations");
+        assert_eq!(c.per_class[0].expired_at_horizon, 3);
         assert_eq!(c.offered, c.placed + c.abandoned);
     }
 
@@ -459,8 +575,8 @@ mod tests {
             &node_parts,
             &crashes,
             Seconds::new(5.0),
-            MarginPolicy::Extended,
-            config.crash_backoff,
+            1,
+            &legacy_policy(&config),
         );
 
         assert_eq!(counters.crashes, 2, "crashes counts events, not nodes");
@@ -482,6 +598,134 @@ mod tests {
     }
 
     #[test]
+    fn consecutive_tick_double_crash_backs_off_twice_but_never_past_nominal() {
+        let config = OrchestratorConfig::smoke(3, 11);
+        let (mut cluster, records, _, _) = deploy_cluster(&config);
+        let mut points: Vec<OperatingPoint> = records.iter().map(|r| r.point.clone()).collect();
+        let node_parts = vec![None; records.len()];
+        let victim = NodeId(0);
+        let before = points[0].clone();
+        let mut queue = EventQueue::new();
+        let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let policy = legacy_policy(&config);
+        // The same node crashes on two CONSECUTIVE ticks — each tick's
+        // dedup set is fresh, so the backoff legitimately compounds …
+        for tick in 1..=2u64 {
+            counters.recover_crashes(
+                &mut cluster,
+                &mut queue,
+                &mut points,
+                &node_parts,
+                &[(victim, crash_event(tick as f64 * 5.0))],
+                Seconds::new(tick as f64 * 5.0),
+                tick,
+                &policy,
+            );
+        }
+        let twice = before.backed_off(config.crash_backoff).backed_off(config.crash_backoff);
+        assert_eq!(
+            points[0].min_offset_mv(),
+            twice.min_offset_mv(),
+            "consecutive-tick crashes compound the backoff once per tick"
+        );
+        // … but however many times it crashes, the clamped backoff can
+        // never overdrive any core's offset past nominal (> 0 mV).
+        for _ in 0..50 {
+            points[0] = points[0].backed_off(config.crash_backoff);
+        }
+        assert!(
+            points[0].core_offsets_mv.iter().all(|&mv| mv >= 0.0),
+            "repeated crashes must converge to nominal, never overshoot it"
+        );
+    }
+
+    #[test]
+    fn lifecycle_crash_takes_the_node_offline_and_skips_the_backoff() {
+        let config = OrchestratorConfig::smoke(3, 17);
+        let (mut cluster, records, _, _) = deploy_cluster(&config);
+        let mut points: Vec<OperatingPoint> = records.iter().map(|r| r.point.clone()).collect();
+        let node_parts = vec![None; records.len()];
+        for _ in 0..3 {
+            cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze);
+        }
+        let victim = cluster.placements()[0].node;
+        let on_victim = cluster.placements_on(victim).len() as u64;
+        assert!(on_victim > 0);
+        let before = points[victim.0 as usize].clone();
+
+        let mut queue = EventQueue::new();
+        let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let policy = CrashPolicy {
+            margins: config.margins,
+            backoff: config.crash_backoff,
+            lifecycle: FailureLifecycle::standard(),
+            seed: config.seed,
+        };
+        counters.recover_crashes(
+            &mut cluster,
+            &mut queue,
+            &mut points,
+            &node_parts,
+            &[(victim, crash_event(5.0))],
+            Seconds::new(5.0),
+            1,
+            &policy,
+        );
+
+        assert!(!cluster.nodes()[victim.0 as usize].is_online(), "the crashed node must be offline");
+        assert!(cluster.placements_on(victim).is_empty(), "the offline node must be evacuated");
+        assert_eq!(counters.nodes_offlined, 1);
+        assert_eq!(
+            points[victim.0 as usize].min_offset_mv(),
+            before.min_offset_mv(),
+            "the lifecycle replaces the geometric backoff with the rejoin re-shmoo"
+        );
+        assert_eq!(counters.crash_migrations + counters.evicted, on_victim);
+        // The scheduler must refuse the offline node while it repairs.
+        for _ in 0..8 {
+            if let Some(p) = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze) {
+                assert_ne!(p.node, victim, "no placement may land on an offline node");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_reoffer_sheds_bronze_to_free_capacity_for_gold() {
+        let config = OrchestratorConfig::smoke(3, 29);
+        let (mut cluster, _, _, _) = deploy_cluster(&config);
+        while cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).is_some() {}
+        let mut queue = EventQueue::new();
+        let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
+        let mut c = ServeCounters::new(1);
+
+        // Gold rejected against the packed rack: it queues.
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+
+        // With every node healthy, a failed re-offer sheds nothing even
+        // with the shed gate open — degradation only under degradation.
+        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), true);
+        assert_eq!(c.shed, 0, "no shedding while the fleet is at full capacity");
+
+        // A node goes offline; the still-queued gold re-offer now sheds
+        // one bronze victim (youngest first) to make room …
+        cluster.mark_crashed(NodeId(0));
+        let _ = cluster.recover_from_crash(NodeId(0));
+        cluster.begin_repair(NodeId(0), 12);
+        let bronze_before = cluster.placements().len();
+        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(10.0), true);
+        assert_eq!(c.shed, 1, "degraded capacity plus a waiting gold must shed");
+        assert_eq!(c.per_class[2].shed, 1, "bronze is shed first");
+        assert_eq!(c.evicted, 1, "a shed is charged as an eviction");
+        assert_eq!(cluster.placements().len(), bronze_before - 1);
+
+        // … and the next tick's re-offer places into the freed slot.
+        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(15.0), true);
+        assert_eq!(placed, 1, "the freed capacity admits the queued gold next tick");
+        assert_eq!(c.per_class[0].placed, 1);
+        assert_eq!(c.offered, c.placed + c.abandoned);
+    }
+
+    #[test]
     fn nominal_racks_never_back_off_points() {
         let config = OrchestratorConfig { margins: MarginPolicy::Nominal, ..OrchestratorConfig::smoke(2, 5) };
         let (mut cluster, records, _, _) = deploy_cluster(&config);
@@ -496,8 +740,8 @@ mod tests {
             &node_parts,
             &[(NodeId(0), crash_event(1.0))],
             Seconds::new(5.0),
-            MarginPolicy::Nominal,
-            config.crash_backoff,
+            1,
+            &legacy_policy(&config),
         );
         assert_eq!(counters.crashes, 1);
         assert_eq!(points[0].min_offset_mv(), 0.0, "nominal points stay nominal");

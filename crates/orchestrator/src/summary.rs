@@ -21,6 +21,13 @@ pub struct ClassStats {
     /// SLA violations charged to this class (evictions, and crash
     /// interruptions for gold/silver).
     pub violations: u64,
+    /// Of `abandoned`: arrivals still queued when the horizon ended
+    /// (never got a final verdict), as opposed to budget-exhausted or
+    /// queue-overflow drops.
+    pub expired_at_horizon: u64,
+    /// Placements of this class shed (stopped early, bronze first) to
+    /// free capacity for premium re-offers while nodes were offline.
+    pub shed: u64,
 }
 
 /// One tick's fleet metrics — the summary's time series.
@@ -42,6 +49,33 @@ pub struct TickMetrics {
     pub migrations: u64,
     /// Fleet energy consumed this tick, in joules.
     pub energy_j: f64,
+}
+
+/// What the failure lifecycle and the chaos engine did to one run —
+/// present only when either is active, so legacy summaries stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosOutcome {
+    /// Synthetic crash events injected by the chaos plan (natural
+    /// crashes are counted in the summary's `crashes` alongside them).
+    pub injected_crashes: u64,
+    /// Times a crashed node was taken offline for repair.
+    pub nodes_offlined: u64,
+    /// Repairs that finished and rejoined (re-characterized) within the
+    /// horizon.
+    pub rejoins: u64,
+    /// Peak simultaneously-offline node count.
+    pub peak_offline: u64,
+    /// Summed offline node-seconds — real downtime, not reboot
+    /// penalties.
+    pub downtime_secs: f64,
+    /// The same lost capacity in node-hours.
+    pub lost_capacity_node_hours: f64,
+    /// Capacity availability: `1 − downtime / (nodes × horizon)`.
+    pub availability: f64,
+    /// Placements shed (bronze first) to free capacity for premium
+    /// re-offers while nodes were offline.
+    pub shed: u64,
 }
 
 /// Per-part aggregation of the rack.
@@ -86,6 +120,9 @@ pub struct ClusterSummary {
     /// Arrivals dropped for good — `offered = placed + abandoned` after
     /// the horizon flushes the retry queue.
     pub abandoned: u64,
+    /// Of `abandoned`: arrivals the horizon flush expired while still
+    /// queued, as opposed to budget-exhausted or overflow drops.
+    pub expired_at_horizon: u64,
     /// Placements whose lifetime completed normally.
     pub completed: u64,
     /// Placements evicted after crashes (no healthy node fit them).
@@ -120,6 +157,9 @@ pub struct ClusterSummary {
     pub per_part: Vec<PartUsage>,
     /// The per-tick time series.
     pub per_tick: Vec<TickMetrics>,
+    /// Failure-lifecycle and chaos accounting — `Some` only when the
+    /// lifecycle or a chaos plan was active for the run.
+    pub chaos: Option<ChaosOutcome>,
 }
 
 /// Wall-clock accounting of one run — machine-local, deliberately kept

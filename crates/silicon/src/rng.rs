@@ -136,6 +136,12 @@ pub mod salt {
     pub const MIX: u64 = 0x3C6E_F372_FE94_F82B;
     /// Ambient-temperature spread.
     pub const AMBIENT: u64 = 0x1F83_D9AB_FB41_BD6B;
+    /// Mean-time-to-repair draw for a crashed node's offline window.
+    pub const MTTR: u64 = 0x5BE0_CD19_137E_2179;
+    /// Independent per-node chaos crash draws.
+    pub const CHAOS: u64 = 0x510E_527F_ADE6_82D1;
+    /// Rack/PSU blast-radius start draw of a correlated chaos failure.
+    pub const CHAOS_RACK: u64 = 0x6A09_E667_F3BC_C908;
 }
 
 /// Maps a 64-bit word onto `[0, 1)` using its top 53 bits — the single
