@@ -20,7 +20,8 @@
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
 //!           [--threads K] [--nominal] [--profile flat|flash|chaos]
 //!           [--place linear|indexed] [--bench PATH] [--label NAME]
-//!           [--no-per-tick]
+//!           [--no-per-tick] [--per-tick-every N]
+//!           [--trace-out PATH] [--metrics-out PATH]
 //! ```
 //!
 //! * `--mixed` (fleet mode) deploys the heterogeneous reference fleet
@@ -51,6 +52,17 @@
 //!   PATH: `BENCH_fleet.json` / `BENCH_cluster.json`. Timings are
 //!   machine-local wall-clock and deliberately *not* part of the
 //!   summary on stdout.
+//! * `--metrics-out PATH` (cluster mode) writes the deterministic
+//!   tick-domain metrics registry — counters, min/max gauges and
+//!   fixed-log2-bucket histograms (queue-wait, VM lifetime, retry
+//!   depth, MTTR, per-class time-to-abandon) — as one JSON object.
+//!   `--trace-out PATH` streams the sim-time-stamped NDJSON event
+//!   trace (arrival/place/reject/reoffer/shed/crash/offline/rejoin/
+//!   migration). Both are byte-identical for any `--threads` value;
+//!   both paths are validated upfront (unwritable exits non-zero).
+//! * `--per-tick-every N` (cluster mode) keeps only every Nth row of
+//!   the per-tick series (tick 0 always included); `1` — the default —
+//!   reproduces the legacy stdout byte-for-byte.
 //! * `--threads K` drives the deploy workers in both modes **and** the
 //!   cluster mode's sharded serving loop (`Cluster::tick_pooled`, one
 //!   persistent pool per run): per-node advancement runs on K workers
@@ -66,7 +78,8 @@ use std::process::ExitCode;
 
 use uniserver_bench::cluster::{bench_record, summary_to_json};
 use uniserver_bench::fleet::{simulate_timed, FleetConfig};
-use uniserver_orchestrator::{run_timed, MarginPolicy, OrchestratorConfig};
+use uniserver_orchestrator::{run_with_telemetry, MarginPolicy, OrchestratorConfig};
+use uniserver_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 use uniserver_stress::campaign::ShmooCampaign;
 use uniserver_units::Seconds;
 
@@ -102,6 +115,12 @@ struct Args {
     linear_place: Option<bool>,
     bench: Option<String>,
     label: Option<String>,
+    /// NDJSON event-trace output path (cluster mode).
+    trace_out: Option<String>,
+    /// Metrics-registry JSON output path (cluster mode).
+    metrics_out: Option<String>,
+    /// Keep only every Nth per-tick row (1 = all, the legacy shape).
+    per_tick_every: u64,
 }
 
 fn parse(mut argv: std::env::Args) -> Result<Args, String> {
@@ -122,6 +141,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         linear_place: None,
         bench: None,
         label: None,
+        trace_out: None,
+        metrics_out: None,
+        per_tick_every: 1,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -168,6 +190,13 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
             }
             "--bench" => args.bench = Some(value("--bench")?),
             "--label" => args.label = Some(value("--label")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--per-tick-every" => {
+                args.per_tick_every = value("--per-tick-every")?
+                    .parse()
+                    .map_err(|e| format!("--per-tick-every: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -182,6 +211,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
     }
     if args.tick.is_some_and(|t| t <= 0.0 || !t.is_finite()) {
         return Err("--tick must be positive".into());
+    }
+    if args.per_tick_every == 0 {
+        return Err("--per-tick-every must be at least 1".into());
     }
     if args.cluster {
         if args.mixed {
@@ -209,6 +241,15 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         if !args.per_tick {
             return Err("--no-per-tick requires --cluster; use --no-per-node in fleet mode".into());
         }
+        if args.trace_out.is_some() {
+            return Err("--trace-out requires --cluster (fleet mode has no event trace)".into());
+        }
+        if args.metrics_out.is_some() {
+            return Err("--metrics-out requires --cluster (fleet mode has no metrics registry)".into());
+        }
+        if args.per_tick_every != 1 {
+            return Err("--per-tick-every requires --cluster (fleet mode has no tick series)".into());
+        }
     }
     Ok(args)
 }
@@ -219,7 +260,8 @@ fn usage() {
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
          [--threads K] [--nominal] [--profile flat|flash|chaos] [--place linear|indexed] \
-         [--bench PATH] [--label NAME] [--no-per-tick]"
+         [--bench PATH] [--label NAME] [--no-per-tick] [--per-tick-every N] \
+         [--trace-out PATH] [--metrics-out PATH]"
     );
 }
 
@@ -262,8 +304,59 @@ fn run_cluster(args: Args) -> ExitCode {
         config.margins = MarginPolicy::Nominal;
     }
 
-    let (summary, timing) = run_timed(&config);
+    // Telemetry sinks open before the run so an unwritable path fails
+    // fast instead of discarding an hour of simulation.
+    let mut tel = Telemetry::disabled();
+    if let Some(path) = &args.trace_out {
+        match TraceSink::create(path) {
+            Ok(sink) => tel.trace = Some(sink),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let metrics_file = if let Some(path) = &args.metrics_out {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                tel.metrics = Some(MetricsRegistry::new());
+                Some(f)
+            }
+            Err(e) => {
+                eprintln!("error: cannot create metrics file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let (mut summary, timing) = run_with_telemetry(&config, &mut tel);
+    if args.per_tick_every > 1 {
+        let every = args.per_tick_every;
+        summary.per_tick.retain(|t| t.tick % every == 0);
+    }
     println!("{}", summary_to_json(&summary, args.per_tick));
+
+    if let Some(mut f) = metrics_file {
+        let json = tel.metrics.take().expect("metrics registry was enabled").to_json();
+        if let Err(e) = writeln!(f, "{json}") {
+            eprintln!(
+                "error: cannot write metrics to {}: {e}",
+                args.metrics_out.as_deref().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(sink) = tel.trace.take() {
+        if let Err(e) = sink.finish() {
+            eprintln!(
+                "error: cannot write trace to {}: {e}",
+                args.trace_out.as_deref().unwrap_or_default()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = args.bench {
         let label = args.label.unwrap_or_else(|| {

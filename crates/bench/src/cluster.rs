@@ -143,6 +143,18 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
     w.field_u64("cores", t.cores as u64);
+    // Per-phase serve attribution from the stage profiler — wall-clock,
+    // machine-local, next to the other timing columns by design.
+    w.field_object("stages", |o| {
+        o.field_f64("placement_ms", t.stages.placement_ms);
+        o.field_f64("predictor_ms", t.stages.predictor_ms);
+        o.field_f64("hypervisor_tick_ms", t.stages.hypervisor_tick_ms);
+        o.field_f64("retry_ms", t.stages.retry_ms);
+        o.field_f64("recovery_ms", t.stages.recovery_ms);
+        o.field_f64("events_ms", t.stages.events_ms);
+        o.field_f64("rejoin_ms", t.stages.rejoin_ms);
+        o.field_f64("tick_wall_ms", t.stages.tick_wall_ms);
+    });
     w.field_f64("wall_ms", t.wall_ms);
     w.field_f64("deploy_ms", t.deploy_ms);
     w.field_f64("serve_ms", t.serve_ms);
@@ -186,6 +198,9 @@ mod tests {
             "\"nodes\":2",
             "\"arrivals\":",
             "\"cores\":",
+            "\"stages\":{\"placement_ms\":",
+            "\"hypervisor_tick_ms\":",
+            "\"tick_wall_ms\":",
             "\"wall_ms\":",
             "\"deploy_ms_per_node\":",
             "\"serve_ms_per_node\":",

@@ -42,6 +42,14 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         &["--profile", "chaos"][..],
         &["--cluster", "--profile"][..],
         &["--cluster", "--profile", "bogus"][..],
+        &["--trace-out", "/tmp/x.ndjson"][..],
+        &["--metrics-out", "/tmp/x.json"][..],
+        &["--per-tick-every", "2"][..],
+        &["--cluster", "--trace-out"][..],
+        &["--cluster", "--metrics-out"][..],
+        &["--cluster", "--per-tick-every"][..],
+        &["--cluster", "--per-tick-every", "0"][..],
+        &["--cluster", "--per-tick-every", "nope"][..],
     ] {
         let out = fleet_sim(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -139,6 +147,97 @@ fn indexed_and_linear_placement_are_byte_identical() {
 }
 
 #[test]
+fn unwritable_telemetry_paths_exit_nonzero_before_the_run() {
+    for flag in ["--trace-out", "--metrics-out"] {
+        let out = fleet_sim(&[
+            "--cluster", "--nodes", "2", "--secs", "30",
+            flag, "/nonexistent_dir_hopefully/out.ndjson",
+        ]);
+        assert!(!out.status.success(), "{flag} to an unwritable path must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error: cannot create"), "{flag} stderr: {stderr}");
+    }
+}
+
+#[test]
+fn telemetry_outputs_are_byte_stable_and_leave_stdout_untouched() {
+    let dir = std::env::temp_dir().join(format!("fleet_sim_tel_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base =
+        &["--cluster", "--profile", "chaos", "--nodes", "8", "--secs", "300", "--seed", "7"];
+    // The default run, no telemetry: the stdout baseline.
+    let plain = fleet_sim(base);
+    assert!(plain.status.success());
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let trace = dir.join(format!("trace_{threads}.ndjson"));
+        let metrics = dir.join(format!("metrics_{threads}.json"));
+        let out = fleet_sim(
+            &[
+                base,
+                &["--threads", threads][..],
+                &["--trace-out", trace.to_str().unwrap()][..],
+                &["--metrics-out", metrics.to_str().unwrap()][..],
+            ]
+            .concat(),
+        );
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            out.stdout, plain.stdout,
+            "enabling telemetry must not perturb the deterministic stdout"
+        );
+        outputs.push((
+            std::fs::read(&trace).expect("trace written"),
+            std::fs::read(&metrics).expect("metrics written"),
+        ));
+    }
+    assert_eq!(outputs[0].0, outputs[1].0, "traces must be byte-identical across threads");
+    assert_eq!(outputs[0].1, outputs[1].1, "metrics must be byte-identical across threads");
+    let trace = String::from_utf8_lossy(&outputs[0].0);
+    assert!(trace.lines().count() > 0, "a chaos run must trace events");
+    assert!(trace.starts_with("{\"tick\":"), "lines carry the tick stamp first");
+    assert!(trace.contains("\"ev\":\"arrival\""));
+    assert!(trace.contains("\"ev\":\"offline\""), "chaos must offline nodes");
+    let metrics = String::from_utf8_lossy(&outputs[0].1);
+    for key in [
+        "\"counters\":{",
+        "\"arrivals\":",
+        "\"node_ticks\":",
+        "\"gauges\":{",
+        "\"offline_nodes\":",
+        "\"histograms\":{",
+        "\"queue_wait_ticks\":",
+        "\"vm_lifetime_ticks\":",
+        "\"mttr_ticks\":",
+    ] {
+        assert!(metrics.contains(key), "missing {key} in {metrics}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_tick_decimation_keeps_every_nth_row_and_default_is_identity() {
+    let base = &["--cluster", "--nodes", "6", "--secs", "120", "--seed", "11"];
+    let full = fleet_sim(base);
+    assert!(full.status.success());
+    let one = fleet_sim(&[base, &["--per-tick-every", "1"][..]].concat());
+    assert!(one.status.success());
+    assert_eq!(full.stdout, one.stdout, "--per-tick-every 1 must be the legacy shape");
+    let five = fleet_sim(&[base, &["--per-tick-every", "5"][..]].concat());
+    assert!(five.status.success());
+    let full_json = String::from_utf8_lossy(&full.stdout);
+    let five_json = String::from_utf8_lossy(&five.stdout);
+    assert!(five_json.len() < full_json.len(), "decimation must shrink the series");
+    assert!(five_json.contains("{\"tick\":0,"), "tick 0 survives decimation");
+    assert!(five_json.contains("{\"tick\":5,"));
+    assert!(!five_json.contains("{\"tick\":1,"), "off-stride rows are dropped");
+    // Decimation only trims the series — the headline fields upstream
+    // of `per_tick` are untouched.
+    let head = full_json.split("\"per_tick\"").next().unwrap();
+    assert_eq!(head, five_json.split("\"per_tick\"").next().unwrap());
+}
+
+#[test]
 fn cluster_bench_record_reports_serve_rate_and_headline() {
     let dir = std::env::temp_dir().join(format!("fleet_sim_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -153,9 +252,16 @@ fn cluster_bench_record_reports_serve_rate_and_headline() {
     // `threads` records the *resolved* worker count (clamped to the
     // machine's cores), so its value is machine-dependent; `cores`
     // records the machine so wall-clocks can be read in context.
-    for key in
-        ["\"label\":\"smoke\"", "\"margins\":\"extended\"", "\"threads\":", "\"cores\":", "\"energy_j\":", "\"serve_ms_per_node\":"]
-    {
+    for key in [
+        "\"label\":\"smoke\"",
+        "\"margins\":\"extended\"",
+        "\"threads\":",
+        "\"cores\":",
+        "\"stages\":{\"placement_ms\":",
+        "\"tick_wall_ms\":",
+        "\"energy_j\":",
+        "\"serve_ms_per_node\":",
+    ] {
         assert!(record.contains(key), "missing {key} in {record}");
     }
     std::fs::remove_dir_all(&dir).ok();

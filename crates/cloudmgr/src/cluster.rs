@@ -17,8 +17,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use uniserver_telemetry::{MetricsRegistry, Stage, StageProfiler};
 use uniserver_units::{Joules, Seconds};
 
 use uniserver_hypervisor::vm::{VmConfig, VmId};
@@ -196,6 +198,67 @@ fn advance_node(node: &mut ManagedNode, predictor: &FailurePredictor, duration: 
     NodeAdvance { energy: outcome.energy, crash_events: outcome.crash_events, score }
 }
 
+/// Instrumentation one shard's advance produced on its worker:
+/// wall-clock nanos for the stage profiler (commutative, flushed to
+/// atomics per chunk) and an optional per-shard metrics registry
+/// (merged in job-index == node-index order by the reduce).
+#[derive(Debug, Default)]
+struct ShardStats {
+    tick_ns: u64,
+    predictor_ns: u64,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// The shared per-node phase of both the sequential and the pooled
+/// tick path: identical computation, so the two stay bit-identical.
+/// `profile` adds per-node span timing; `collect` fills a shard-local
+/// registry with integer tick-domain stats.
+fn advance_slice(
+    nodes: &mut [ManagedNode],
+    predictor: &FailurePredictor,
+    duration: Seconds,
+    profile: bool,
+    collect: bool,
+) -> (Vec<Option<NodeAdvance>>, ShardStats) {
+    let mut stats = ShardStats { metrics: collect.then(MetricsRegistry::new), ..ShardStats::default() };
+    let advances = nodes
+        .iter_mut()
+        .map(|node| {
+            if !node.is_online() {
+                if let Some(m) = &mut stats.metrics {
+                    m.inc("node_ticks_skipped_offline");
+                }
+                return None;
+            }
+            let adv = if profile {
+                let t0 = Instant::now();
+                let outcome = node.tick(duration);
+                let t1 = Instant::now();
+                let score = predictor.observe(node.id.0, node.hypervisor.health());
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    stats.tick_ns += (t1 - t0).as_nanos() as u64;
+                    stats.predictor_ns += t1.elapsed().as_nanos() as u64;
+                }
+                NodeAdvance { energy: outcome.energy, crash_events: outcome.crash_events, score }
+            } else {
+                advance_node(node, predictor, duration)
+            };
+            if let Some(m) = &mut stats.metrics {
+                m.inc("node_ticks");
+                if matches!(adv.score, ScoreUpdate::Rescore { .. }) {
+                    m.inc("predictor_rescores");
+                }
+                if !adv.crash_events.is_empty() {
+                    m.record("crash_events_per_node_tick", adv.crash_events.len() as u64);
+                }
+            }
+            Some(adv)
+        })
+        .collect();
+    (advances, stats)
+}
+
 /// The cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -215,6 +278,13 @@ pub struct Cluster {
     evictions: u64,
     migration_downtime: Seconds,
     rejected: u64,
+    /// Wall-clock stage attribution for the per-node phase, when a
+    /// caller installed one (machine-local; never in a report).
+    profiler: Option<Arc<StageProfiler>>,
+    /// Accumulated tick-domain metrics, when enabled — kept out of
+    /// [`ClusterTickReport`] so the report's `PartialEq` determinism
+    /// contract is untouched.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Cluster {
@@ -268,6 +338,38 @@ impl Cluster {
             evictions: 0,
             migration_downtime: Seconds::ZERO,
             rejected: 0,
+            profiler: None,
+            metrics: None,
+        }
+    }
+
+    /// Installs a stage profiler: the per-node phase attributes its
+    /// wall-clock to [`Stage::NodeTick`] / [`Stage::Predictor`] from
+    /// then on (worker threads flush once per chunk).
+    pub fn set_profiler(&mut self, profiler: Arc<StageProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Switches on tick-domain metrics collection: subsequent ticks
+    /// accumulate per-shard registries merged in node-index order, so
+    /// the result is byte-identical for any worker count.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(MetricsRegistry::new());
+    }
+
+    /// Takes the accumulated metrics registry (collection stops until
+    /// [`Cluster::enable_metrics`] is called again).
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take()
+    }
+
+    fn absorb_shard_stats(&mut self, stats: ShardStats) {
+        if let Some(p) = &self.profiler {
+            p.add_nanos(Stage::NodeTick, stats.tick_ns);
+            p.add_nanos(Stage::Predictor, stats.predictor_ns);
+        }
+        if let (Some(registry), Some(shard)) = (&mut self.metrics, stats.metrics) {
+            registry.merge(&shard);
         }
     }
 
@@ -389,11 +491,12 @@ impl Cluster {
         let advances = match pool {
             Some(pool) => self.advance_nodes_pooled(duration, pool),
             None => {
-                let predictor = &self.predictor;
-                self.nodes
-                    .iter_mut()
-                    .map(|n| n.is_online().then(|| advance_node(n, predictor, duration)))
-                    .collect()
+                let profile = self.profiler.is_some();
+                let collect = self.metrics.is_some();
+                let (advances, stats) =
+                    advance_slice(&mut self.nodes, &self.predictor, duration, profile, collect);
+                self.absorb_shard_stats(stats);
+                advances
             }
         };
 
@@ -453,6 +556,8 @@ impl Cluster {
         let jobs = n.div_ceil(chunk);
         let predictor = Arc::new(std::mem::take(&mut self.predictor));
 
+        let profile = self.profiler.is_some();
+        let collect = self.metrics.is_some();
         let mut it = std::mem::take(&mut self.nodes).into_iter();
         let mut chunks: Vec<Vec<ManagedNode>> =
             (0..jobs).map(|_| it.by_ref().take(chunk).collect()).collect();
@@ -460,19 +565,21 @@ impl Cluster {
             let mut shard = std::mem::take(&mut chunks[i]);
             let predictor = Arc::clone(&predictor);
             Box::new(move || {
-                let advances: Vec<Option<NodeAdvance>> = shard
-                    .iter_mut()
-                    .map(|node| node.is_online().then(|| advance_node(node, &predictor, duration)))
-                    .collect();
-                (shard, advances)
+                let (advances, stats) =
+                    advance_slice(&mut shard, &predictor, duration, profile, collect);
+                (shard, advances, stats)
             })
         });
 
         let mut nodes = Vec::with_capacity(n);
         let mut advances = Vec::with_capacity(n);
-        for (shard, shard_advances) in results {
+        // Shard stats absorb in job-index order too, so the metrics
+        // merge order equals node-index order exactly as the sequential
+        // path records it.
+        for (shard, shard_advances, stats) in results {
             nodes.extend(shard);
             advances.extend(shard_advances);
+            self.absorb_shard_stats(stats);
         }
         self.nodes = nodes;
         // Every job dropped its clone before reporting its result, and
@@ -1154,5 +1261,69 @@ mod tests {
     fn online_nodes_cannot_rejoin() {
         let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(1), 100);
         cluster.complete_rejoin(NodeId(0));
+    }
+
+    /// A 6-node rack with one deep-undervolted node, one noisy DRAM
+    /// domain and one node parked offline — the same degradation the
+    /// shard-equivalence tests use, so metrics cover crashes, rescores
+    /// and the offline skip.
+    fn instrumented_rack() -> Cluster {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(6), 100);
+        for i in 0..6 {
+            let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+            cluster.submit(VmConfig::idle_guest(), class);
+        }
+        let deep = cluster.nodes()[0].hypervisor.node().part().offset_mv(0.20);
+        cluster.nodes_mut()[0].hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+        cluster.nodes_mut()[1]
+            .hypervisor
+            .node_mut()
+            .msr
+            .set_refresh_interval(DomainId(1), Seconds::new(10.0))
+            .unwrap();
+        let parked = NodeId(5);
+        cluster.mark_crashed(parked);
+        cluster.recover_from_crash(parked);
+        cluster.begin_repair(parked, 100);
+        cluster
+    }
+
+    #[test]
+    fn shard_metrics_are_byte_identical_across_worker_counts() {
+        let mut seq = instrumented_rack();
+        let mut par = instrumented_rack();
+        seq.enable_metrics();
+        par.enable_metrics();
+        for _ in 0..40 {
+            let a = seq.tick(Seconds::new(1.0));
+            let b = par.tick_sharded(Seconds::new(1.0), 4);
+            assert_eq!(a, b, "metrics collection must not perturb the tick");
+        }
+        let a = seq.take_metrics().expect("metrics were enabled");
+        let b = par.take_metrics().expect("metrics were enabled");
+        assert_eq!(a.to_json(), b.to_json(), "shard merge order must equal node order");
+        assert_eq!(a.counter("node_ticks"), 5 * 40, "five online nodes tick every tick");
+        assert_eq!(a.counter("node_ticks_skipped_offline"), 40);
+        assert!(a.counter("predictor_rescores") > 0, "noisy logs must rescore");
+        let crashes = a.histogram("crash_events_per_node_tick").expect("deep undervolt crashes");
+        assert!(crashes.count > 0);
+        assert!(seq.take_metrics().is_none(), "take_metrics stops collection");
+    }
+
+    #[test]
+    fn profiler_attributes_tick_time_without_changing_reports() {
+        let mut plain = instrumented_rack();
+        let mut profiled = instrumented_rack();
+        let profiler = Arc::new(StageProfiler::new());
+        profiled.set_profiler(Arc::clone(&profiler));
+        let pool = ShardPool::new(3);
+        for tick in 0..20 {
+            let a = plain.tick(Seconds::new(1.0));
+            let b = profiled.tick_pooled(Seconds::new(1.0), &pool);
+            assert_eq!(a, b, "profiling changed tick {tick}");
+        }
+        assert!(profiler.nanos(Stage::NodeTick) > 0, "node ticking must be attributed");
+        assert!(profiler.nanos(Stage::Predictor) > 0, "predictor scans must be attributed");
+        assert_eq!(profiler.nanos(Stage::Placement), 0, "the cluster only times its own phase");
     }
 }

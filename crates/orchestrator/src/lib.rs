@@ -41,9 +41,11 @@ pub mod summary;
 pub use config::{AdmissionPolicy, MarginPolicy, OrchestratorConfig};
 pub use deploy::{deploy_cluster, rejoin_node, DeployedNode};
 pub use events::{Event, EventQueue};
-pub use orchestrator::{compare, run, run_timed};
+pub use orchestrator::{compare, run, run_timed, run_with_telemetry};
 pub use summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, StageBreakdown,
+    TickMetrics,
 };
+pub use uniserver_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 pub use uniserver_cloudmgr::lifecycle::{FailureLifecycle, NodePhase};
 pub use uniserver_faultinject::chaos::{Campaign, ChaosPlan};

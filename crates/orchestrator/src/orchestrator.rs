@@ -48,6 +48,7 @@ use std::time::Instant;
 use uniserver_cloudmgr::node::NodeId;
 use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
 use uniserver_platform::node::CrashEvent;
+use uniserver_telemetry::{Stage, StageProfiler, Telemetry, TraceEvent};
 use uniserver_units::{Celsius, Seconds, Volts};
 
 use crate::config::{MarginPolicy, OrchestratorConfig};
@@ -55,7 +56,8 @@ use crate::deploy::{deploy_cluster_on, rejoin_node};
 use crate::events::EventQueue;
 use crate::serve::{CrashPolicy, RetryQueue, ServeCounters};
 use crate::summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, TickMetrics,
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, StageBreakdown,
+    TickMetrics,
 };
 
 /// Runs one orchestrated scenario.
@@ -80,6 +82,25 @@ pub fn run(config: &OrchestratorConfig) -> ClusterSummary {
 /// [`VmStream`]: uniserver_cloudmgr::stream::VmStream
 #[must_use]
 pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTiming) {
+    let mut tel = Telemetry::disabled();
+    run_with_telemetry(config, &mut tel)
+}
+
+/// Runs one orchestrated scenario with a live [`Telemetry`] bundle:
+/// sim-domain metrics and trace events land in `tel` (both byte-stable
+/// for any worker count — accumulation is sequential, in node-index
+/// order), wall-clock stage attribution lands in the returned timing's
+/// `stages` block. `Telemetry::disabled()` makes this exactly
+/// [`run_timed`].
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (see [`run_timed`]).
+#[must_use]
+pub fn run_with_telemetry(
+    config: &OrchestratorConfig,
+    tel: &mut Telemetry,
+) -> (ClusterSummary, OrchestratorTiming) {
     if let Err(err) = config.stream.validate() {
         panic!("invalid stream: {err}");
     }
@@ -91,6 +112,15 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     let workers = resolve_workers(config.threads, config.cluster.nodes);
     let pool = ShardPool::new(workers);
     let (mut cluster, records, deploy_secs, cache) = deploy_cluster_on(config, &pool);
+    // The stage profiler is wall-clock (machine-local): it feeds the
+    // timing report, never the deterministic summary or metrics.
+    let profiler = Arc::new(StageProfiler::new());
+    profiler.add_nanos(Stage::Deploy, (deploy_secs * 1e9) as u64);
+    cluster.set_profiler(Arc::clone(&profiler));
+    if tel.metrics.is_some() {
+        cluster.enable_metrics();
+    }
+    tel.begin_run(config.tick.as_secs());
     let mut points: Vec<_> = records.iter().map(|r| r.point.clone()).collect();
     // Part-mix index per node, resolved once for crash attribution.
     let node_parts: Vec<Option<usize>> = records
@@ -122,36 +152,59 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         let step = Seconds::new(dt.as_secs().min(config.horizon.as_secs() - now.as_secs()));
         let mut t_offered = 0u64;
         let mut t_placed = 0u64;
+        tel.begin_tick(tick, now.as_secs());
 
         // --- 0. Repairs tick down; nodes whose MTTR window just closed
         // rejoin through a re-characterization pass — extended racks
         // re-shmoo the silicon *as it is now* (aged, at its live
         // ambient) instead of applying a geometric backoff.
-        for id in cluster.tick_repairs() {
-            let idx = id.0 as usize;
-            points[idx] =
-                rejoin_node(config, &cache, idx, cluster.nodes_mut()[idx].hypervisor.node_mut());
-            cluster.complete_rejoin(id);
-            c.rejoins += 1;
+        {
+            let _span = profiler.scoped(Stage::Rejoin);
+            for id in cluster.tick_repairs() {
+                let idx = id.0 as usize;
+                points[idx] =
+                    rejoin_node(config, &cache, idx, cluster.nodes_mut()[idx].hypervisor.node_mut());
+                cluster.complete_rejoin(id);
+                c.rejoins += 1;
+                tel.inc("rejoins");
+                tel.emit(&TraceEvent::Rejoin { node: u64::from(id.0) });
+            }
         }
 
         // --- 1. Due events, earliest first.
-        let t_completed = c.drain_due(&mut queue, &mut cluster, now);
+        let t_completed = {
+            let _span = profiler.scoped(Stage::Events);
+            c.drain_due(&mut queue, &mut cluster, now)
+        };
+        tel.add("completed", t_completed);
 
         // --- 2a. Queued rejections re-offer first, gold before silver,
         // into whatever capacity the departures just freed. (Empty —
         // and free — under the default drop-all admission policy.)
-        t_placed +=
-            c.reoffer_pending(&mut retry, &mut cluster, &mut queue, now, config.lifecycle.shed);
+        {
+            let _span = profiler.scoped(Stage::RetryQueue);
+            t_placed += c.reoffer_pending(
+                &mut retry,
+                &mut cluster,
+                &mut queue,
+                now,
+                tick,
+                config.lifecycle.shed,
+                tel,
+            );
+        }
 
         // --- 2b. This tick's arrival batch, from its own sub-stream,
         // drawn at the rack's capacity-scaled rate.
-        for arrival in
-            config.stream.tick_arrivals_scaled(config.seed, tick, step, config.cluster.nodes)
         {
-            t_offered += 1;
-            if c.admit(&mut retry, &mut cluster, &mut queue, arrival, now) {
-                t_placed += 1;
+            let _span = profiler.scoped(Stage::Placement);
+            for arrival in
+                config.stream.tick_arrivals_scaled(config.seed, tick, step, config.cluster.nodes)
+            {
+                t_offered += 1;
+                if c.admit(&mut retry, &mut cluster, &mut queue, arrival, now, tick, tel) {
+                    t_placed += 1;
+                }
             }
         }
 
@@ -174,15 +227,19 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         // --- 3. Advance the fleet, sharded across the run's pool.
         // Offline nodes are skipped wholesale: no energy, no load, no
         // crash surface while they repair.
-        let mut report = cluster.tick_pooled(step, &pool);
+        let mut report = {
+            let _span = profiler.scoped(Stage::Tick);
+            cluster.tick_pooled(step, &pool)
+        };
         c.energy_j += report.energy.as_joules();
         let mut t_migrations = report.proactive_migrations;
+        tel.add("proactive_migrations", report.proactive_migrations);
         let tick_end = now + step;
 
         // A proactive move whose relaunch failed lost the VM: that is
         // an eviction whatever the class promised.
         for lost in &report.evicted {
-            c.charge_eviction(lost);
+            c.charge_eviction(lost, tel);
         }
 
         // --- 3b. Chaos-plan crash injection: seeded fault campaigns
@@ -206,22 +263,27 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
                     },
                 ));
                 c.injected_crashes += 1;
+                tel.inc("injected_crashes");
             }
         }
 
         // --- 4. Failure-driven recovery, once per crashed node. Under
         // the lifecycle, recovery evacuates the node and takes it
         // offline for its seeded MTTR window.
-        t_migrations += c.recover_crashes(
-            &mut cluster,
-            &mut queue,
-            &mut points,
-            &node_parts,
-            &report.crashes,
-            tick_end,
-            tick,
-            &crash_policy,
-        );
+        {
+            let _span = profiler.scoped(Stage::Recovery);
+            t_migrations += c.recover_crashes(
+                &mut cluster,
+                &mut queue,
+                &mut points,
+                &node_parts,
+                &report.crashes,
+                tick_end,
+                tick,
+                &crash_policy,
+                tel,
+            );
+        }
 
         // --- 5. Downtime accrual: every tick a node spends offline is
         // real lost capacity (a freshly-crashed node's window starts
@@ -229,6 +291,9 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         let offline = cluster.offline_count();
         c.downtime_secs += step.as_secs() * offline as f64;
         c.peak_offline = c.peak_offline.max(offline as u64);
+        tel.observe("live_placements", cluster.placements().len() as u64);
+        tel.observe("offline_nodes", offline as u64);
+        tel.observe("retry_queue_depth", retry.pending_len() as u64);
 
         per_tick.push(TickMetrics {
             tick,
@@ -246,10 +311,20 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
     // final `(last tick start, horizon]` window must still fire, or
     // `completed` / `migrations_settled` undercount what the horizon
     // actually served. (These fall outside the per-tick series.)
-    c.drain_due(&mut queue, &mut cluster, Seconds::new(config.horizon.as_secs()));
+    tel.begin_tick(ticks, config.horizon.as_secs());
+    let final_completed =
+        c.drain_due(&mut queue, &mut cluster, Seconds::new(config.horizon.as_secs()));
+    tel.add("completed", final_completed);
     // Whatever is still waiting for re-admission when the horizon ends
     // was never served: count it abandoned so admission ties out too.
-    c.flush_pending(&mut retry);
+    c.flush_pending(&mut retry, ticks, tel);
+    // Shard-accumulated metrics (node ticks, predictor rescores, crash
+    // histograms) merge into the run's registry in node-index order.
+    if let Some(shard_metrics) = cluster.take_metrics() {
+        if let Some(m) = &mut tel.metrics {
+            m.merge(&shard_metrics);
+        }
+    }
     debug_assert_eq!(
         c.placed,
         c.completed + c.evicted + cluster.placements().len() as u64,
@@ -342,6 +417,16 @@ pub fn run_timed(config: &OrchestratorConfig) -> (ClusterSummary, OrchestratorTi
         arrivals: c.offered,
         workers,
         cores: uniserver_cloudmgr::pool::cores(),
+        stages: StageBreakdown {
+            placement_ms: profiler.ms(Stage::Placement),
+            predictor_ms: profiler.ms(Stage::Predictor),
+            hypervisor_tick_ms: profiler.ms(Stage::NodeTick),
+            retry_ms: profiler.ms(Stage::RetryQueue),
+            recovery_ms: profiler.ms(Stage::Recovery),
+            events_ms: profiler.ms(Stage::Events),
+            rejoin_ms: profiler.ms(Stage::Rejoin),
+            tick_wall_ms: profiler.ms(Stage::Tick),
+        },
     };
     (summary, timing)
 }

@@ -30,6 +30,7 @@ use uniserver_cloudmgr::sla::SlaClass;
 use uniserver_cloudmgr::stream::Arrival;
 use uniserver_core::eop::OperatingPoint;
 use uniserver_platform::node::CrashEvent;
+use uniserver_telemetry::{Telemetry, TraceEvent};
 use uniserver_units::Seconds;
 
 use crate::config::{AdmissionPolicy, MarginPolicy};
@@ -45,12 +46,23 @@ pub(crate) fn class_idx(class: SlaClass) -> usize {
     }
 }
 
+/// Class labels in accounting-array order, for telemetry payloads.
+pub(crate) const CLASS_NAMES: [&str; 3] = ["gold", "silver", "bronze"];
+
+/// Per-class time-to-abandon histogram names (telemetry keys are
+/// `&'static str`, so the class rides in the name).
+const ABANDON_WAIT: [&str; 3] =
+    ["abandon_wait_ticks_gold", "abandon_wait_ticks_silver", "abandon_wait_ticks_bronze"];
+
 /// One rejected arrival waiting in the re-admission queue.
 #[derive(Debug)]
 pub(crate) struct PendingArrival {
     pub arrival: Arrival,
     /// Re-offer attempts remaining before it is abandoned.
     pub retries_left: u32,
+    /// Tick the original offer was rejected on — queue-wait and
+    /// time-to-abandon telemetry measure from here.
+    pub offered_tick: u64,
 }
 
 /// The bounded per-class re-admission queue behind an
@@ -70,7 +82,6 @@ impl RetryQueue {
     }
 
     /// Rejections currently waiting, across all classes.
-    #[cfg(test)]
     pub fn pending_len(&self) -> usize {
         self.pending.iter().map(VecDeque::len).sum()
     }
@@ -172,6 +183,7 @@ impl ServeCounters {
     /// counted and then either queued for re-admission (class budget
     /// and queue depth permitting) or abandoned on the spot — the
     /// legacy drop-on-rejection path is exactly the zero-budget case.
+    #[allow(clippy::too_many_arguments)]
     pub fn admit(
         &mut self,
         retry: &mut RetryQueue,
@@ -179,10 +191,15 @@ impl ServeCounters {
         queue: &mut EventQueue,
         arrival: Arrival,
         now: Seconds,
+        tick: u64,
+        tel: &mut Telemetry,
     ) -> bool {
         self.offered += 1;
         let class = class_idx(arrival.class);
+        let label = CLASS_NAMES[class];
         self.per_class[class].offered += 1;
+        tel.inc("arrivals");
+        tel.emit(&TraceEvent::Arrival { class: label });
         let budget = retry.policy.retry_budget[class];
         // Only a retryable class pays for the config clone the re-offer
         // needs; the legacy path submits the original untouched.
@@ -192,20 +209,32 @@ impl ServeCounters {
                 self.placed += 1;
                 self.per_class[class].placed += 1;
                 queue.schedule(now + arrival.lifetime, Event::Departure(placement.id));
+                tel.inc("placed");
+                tel.record("queue_wait_ticks", 0);
+                tel.record("vm_lifetime_ticks", tel.lifetime_ticks(arrival.lifetime.as_secs()));
+                tel.emit(&TraceEvent::Place {
+                    class: label,
+                    node: u64::from(placement.node.0),
+                    placement: placement.id.0,
+                    wait_ticks: 0,
+                });
                 true
             }
             None => {
                 self.rejected += 1;
                 self.per_class[class].rejected += 1;
+                tel.inc("rejected");
+                tel.emit(&TraceEvent::Reject { class: label });
                 match backup {
                     Some(config) if retry.pending[class].len() < retry.policy.queue_depth => {
                         retry.pending[class].push_back(PendingArrival {
                             arrival: Arrival { config, class: arrival.class, lifetime: arrival.lifetime },
                             retries_left: budget,
+                            offered_tick: tick,
                         });
                     }
                     // Budget zero or queue full: dropped for good.
-                    _ => self.abandon(class),
+                    _ => self.abandon(class, 0, tel),
                 }
                 false
             }
@@ -224,32 +253,57 @@ impl ServeCounters {
     /// — bronze first — so the next tick's re-offer lands in the freed
     /// slot; a shed counts as an eviction, so the SLA books still tie
     /// out.
+    #[allow(clippy::too_many_arguments)]
     pub fn reoffer_pending(
         &mut self,
         retry: &mut RetryQueue,
         cluster: &mut Cluster,
         queue: &mut EventQueue,
         now: Seconds,
+        tick: u64,
         shed: bool,
+        tel: &mut Telemetry,
     ) -> u64 {
         let mut placed_now = 0;
+        #[allow(clippy::needless_range_loop)] // class indexes four parallel arrays
         for class in 0..3 {
+            let label = CLASS_NAMES[class];
+            let budget = retry.policy.retry_budget[class];
             let waiting = retry.pending[class].len();
             for _ in 0..waiting {
                 let Some(mut p) = retry.pending[class].pop_front() else { break };
                 self.retried += 1;
                 self.per_class[class].retried += 1;
+                tel.inc("reoffered");
+                tel.emit(&TraceEvent::Reoffer {
+                    class: label,
+                    retries_left: u64::from(p.retries_left - 1),
+                });
                 let backup = (p.retries_left > 1).then(|| p.arrival.config.clone());
+                let lifetime = p.arrival.lifetime;
                 match cluster.submit(p.arrival.config, p.arrival.class) {
                     Some(placement) => {
                         self.placed += 1;
                         placed_now += 1;
                         self.per_class[class].placed += 1;
-                        queue.schedule(now + p.arrival.lifetime, Event::Departure(placement.id));
+                        queue.schedule(now + lifetime, Event::Departure(placement.id));
+                        let wait = tick - p.offered_tick;
+                        tel.inc("placed");
+                        tel.record("queue_wait_ticks", wait);
+                        tel.record("vm_lifetime_ticks", tel.lifetime_ticks(lifetime.as_secs()));
+                        tel.record("retry_depth", u64::from(budget - p.retries_left + 1));
+                        tel.emit(&TraceEvent::Place {
+                            class: label,
+                            node: u64::from(placement.node.0),
+                            placement: placement.id.0,
+                            wait_ticks: wait,
+                        });
                     }
                     None => {
                         self.rejected += 1;
                         self.per_class[class].rejected += 1;
+                        tel.inc("rejected");
+                        tel.emit(&TraceEvent::Reject { class: label });
                         p.retries_left -= 1;
                         match backup {
                             Some(config) => {
@@ -258,10 +312,10 @@ impl ServeCounters {
                                 // Degraded capacity plus a premium
                                 // arrival still waiting: make room.
                                 if shed && class < 2 && cluster.offline_count() > 0 {
-                                    self.shed_lowest(cluster, class);
+                                    self.shed_lowest(cluster, class, tel);
                                 }
                             }
-                            None => self.abandon(class),
+                            None => self.abandon(class, tick - p.offered_tick, tel),
                         }
                     }
                 }
@@ -275,7 +329,7 @@ impl ServeCounters {
     /// (highest [`Placement`] id) — stopping its VM early. The shed is
     /// charged as an eviction (it *is* an SLA violation) and its later
     /// departure event no-ops. Returns whether a victim existed.
-    fn shed_lowest(&mut self, cluster: &mut Cluster, above_class: usize) -> bool {
+    fn shed_lowest(&mut self, cluster: &mut Cluster, above_class: usize, tel: &mut Telemetry) -> bool {
         for class in ((above_class + 1)..3).rev() {
             let victim = cluster
                 .placements()
@@ -288,7 +342,13 @@ impl ServeCounters {
                 debug_assert!(terminated, "a tracked placement terminates exactly once");
                 self.shed += 1;
                 self.per_class[class].shed += 1;
-                self.charge_eviction(&victim);
+                tel.inc("shed");
+                tel.emit(&TraceEvent::Shed {
+                    class: CLASS_NAMES[class],
+                    node: u64::from(victim.node.0),
+                    placement: victim.id.0,
+                });
+                self.charge_eviction(&victim, tel);
                 return true;
             }
         }
@@ -299,27 +359,31 @@ impl ServeCounters {
     /// ends, so `offered = placed + abandoned` ties out. These drops are
     /// counted separately from budget-exhausted abandons: the horizon
     /// expired them while they were still waiting for a verdict.
-    pub fn flush_pending(&mut self, retry: &mut RetryQueue) {
+    pub fn flush_pending(&mut self, retry: &mut RetryQueue, final_tick: u64, tel: &mut Telemetry) {
         for class in 0..3 {
-            while retry.pending[class].pop_front().is_some() {
-                self.abandon(class);
+            while let Some(p) = retry.pending[class].pop_front() {
+                self.abandon(class, final_tick.saturating_sub(p.offered_tick), tel);
                 self.expired_at_horizon += 1;
                 self.per_class[class].expired_at_horizon += 1;
+                tel.inc("expired_at_horizon");
             }
         }
     }
 
-    fn abandon(&mut self, class: usize) {
+    fn abandon(&mut self, class: usize, wait_ticks: u64, tel: &mut Telemetry) {
         self.abandoned += 1;
         self.per_class[class].abandoned += 1;
+        tel.inc("abandoned");
+        tel.record(ABANDON_WAIT[class], wait_ticks);
     }
 
     /// Charges one lost placement: an eviction is an SLA violation
     /// whatever the class promised.
-    pub fn charge_eviction(&mut self, lost: &Placement) {
+    pub fn charge_eviction(&mut self, lost: &Placement, tel: &mut Telemetry) {
         self.evicted += 1;
         self.sla_violations += 1;
         self.per_class[class_idx(lost.class)].violations += 1;
+        tel.inc("evictions");
     }
 
     /// Failure-driven recovery for one tick's surfaced crash events.
@@ -349,10 +413,16 @@ impl ServeCounters {
         tick_end: Seconds,
         tick: u64,
         policy: &CrashPolicy,
+        tel: &mut Telemetry,
     ) -> u64 {
         let mut crashed: Vec<NodeId> = Vec::new();
-        for (node_id, _event) in crashes {
+        for (node_id, event) in crashes {
             self.crashes += 1;
+            tel.inc("crash_events");
+            tel.emit_at(
+                event.at.as_secs(),
+                &TraceEvent::Crash { node: u64::from(node_id.0), workload: &event.workload },
+            );
             if let Some(p) = node_parts[node_id.0 as usize] {
                 self.part_crashes[p] += 1;
             }
@@ -370,6 +440,13 @@ impl ServeCounters {
                 self.crash_migrations += 1;
                 migrations += 1;
                 queue.schedule(cost.completes_at(tick_end), Event::MigrationSettled(moved.id));
+                tel.inc("crash_migrations");
+                tel.emit(&TraceEvent::Migration {
+                    class: CLASS_NAMES[class_idx(moved.class)],
+                    placement: moved.id.0,
+                    from: u64::from(node_id.0),
+                    to: u64::from(moved.node.0),
+                });
                 // Gold/Silver promise continuity; a crash-forced move
                 // interrupted them.
                 if moved.class != SlaClass::Bronze {
@@ -378,7 +455,7 @@ impl ServeCounters {
                 }
             }
             for lost in &recovery.evicted {
-                self.charge_eviction(lost);
+                self.charge_eviction(lost, tel);
             }
             if policy.lifecycle.enabled {
                 // The crash costs capacity, not margin: the node leaves
@@ -387,6 +464,12 @@ impl ServeCounters {
                 let mttr = policy.lifecycle.draw_mttr(policy.seed, node_id, tick);
                 cluster.begin_repair(node_id, mttr);
                 self.nodes_offlined += 1;
+                tel.inc("nodes_offlined");
+                tel.record("mttr_ticks", u64::from(mttr));
+                tel.emit(&TraceEvent::Offline {
+                    node: u64::from(node_id.0),
+                    mttr_ticks: u64::from(mttr),
+                });
             } else if policy.margins == MarginPolicy::Extended {
                 // Reboot firmware cleared the undervolts: re-deploy the
                 // node at a backed-off point instead of silently running
@@ -463,8 +546,9 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
         let mut c = ServeCounters::new(1);
+        let mut tel = Telemetry::disabled();
 
-        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0), 0, &mut tel));
         assert_eq!(c.per_class[0].rejected, 1);
         assert_eq!(c.per_class[0].abandoned, 0, "a gold rejection must queue, not drop");
         assert_eq!(retry.pending_len(), 1);
@@ -477,7 +561,9 @@ mod tests {
                 &mut cluster,
                 &mut queue,
                 Seconds::new(attempt as f64 * 5.0),
+                attempt,
                 false,
+                &mut tel,
             );
             assert_eq!(placed, 0);
             assert_eq!(c.per_class[0].retried, attempt);
@@ -497,15 +583,17 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
         let mut c = ServeCounters::new(1);
+        let mut tel = Telemetry::disabled();
 
-        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0), 0, &mut tel));
         assert_eq!(retry.pending_len(), 1);
 
         // A departure frees capacity before the budget runs out …
         let victim = cluster.placements()[0].id;
         assert!(cluster.terminate_by_id(victim));
         // … and the next re-offer claims it.
-        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), false);
+        let placed =
+            c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), 1, false, &mut tel);
         assert_eq!(placed, 1);
         assert_eq!(c.per_class[0].placed, 1);
         assert_eq!(c.per_class[0].retried, 1);
@@ -520,8 +608,9 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut retry = RetryQueue::new(AdmissionPolicy::drop_all());
         let mut c = ServeCounters::new(1);
+        let mut tel = Telemetry::disabled();
 
-        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0), 0, &mut tel));
         assert_eq!(c.per_class[0].rejected, 1);
         assert_eq!(c.per_class[0].abandoned, 1, "zero budget is the legacy drop path");
         assert_eq!(c.retried, 0);
@@ -534,12 +623,13 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
         let mut c = ServeCounters::new(1);
+        let mut tel = Telemetry::disabled();
 
         for _ in 0..3 {
-            c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0));
+            c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0), 0, &mut tel);
         }
         assert_eq!(retry.pending_len(), 3);
-        c.flush_pending(&mut retry);
+        c.flush_pending(&mut retry, 60, &mut tel);
         assert_eq!(retry.pending_len(), 0);
         assert_eq!(c.abandoned, 3);
         assert_eq!(c.expired_at_horizon, 3, "horizon drops are annotated as expirations");
@@ -566,6 +656,7 @@ mod tests {
         let before = points[victim.0 as usize].clone();
         let mut queue = EventQueue::new();
         let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let mut tel = Telemetry::disabled();
         // The node surfaced TWO crash events in the same tick.
         let crashes = vec![(victim, crash_event(5.0)), (victim, crash_event(5.1))];
         let migrations = counters.recover_crashes(
@@ -577,6 +668,7 @@ mod tests {
             Seconds::new(5.0),
             1,
             &legacy_policy(&config),
+            &mut tel,
         );
 
         assert_eq!(counters.crashes, 2, "crashes counts events, not nodes");
@@ -607,6 +699,7 @@ mod tests {
         let before = points[0].clone();
         let mut queue = EventQueue::new();
         let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let mut tel = Telemetry::disabled();
         let policy = legacy_policy(&config);
         // The same node crashes on two CONSECUTIVE ticks — each tick's
         // dedup set is fresh, so the backoff legitimately compounds …
@@ -620,6 +713,7 @@ mod tests {
                 Seconds::new(tick as f64 * 5.0),
                 tick,
                 &policy,
+                &mut tel,
             );
         }
         let twice = before.backed_off(config.crash_backoff).backed_off(config.crash_backoff);
@@ -655,6 +749,7 @@ mod tests {
 
         let mut queue = EventQueue::new();
         let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let mut tel = Telemetry::disabled();
         let policy = CrashPolicy {
             margins: config.margins,
             backoff: config.crash_backoff,
@@ -670,6 +765,7 @@ mod tests {
             Seconds::new(5.0),
             1,
             &policy,
+            &mut tel,
         );
 
         assert!(!cluster.nodes()[victim.0 as usize].is_online(), "the crashed node must be offline");
@@ -697,13 +793,14 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut retry = RetryQueue::new(AdmissionPolicy::gold_priority());
         let mut c = ServeCounters::new(1);
+        let mut tel = Telemetry::disabled();
 
         // Gold rejected against the packed rack: it queues.
-        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0)));
+        assert!(!c.admit(&mut retry, &mut cluster, &mut queue, gold_arrival(), Seconds::new(0.0), 0, &mut tel));
 
         // With every node healthy, a failed re-offer sheds nothing even
         // with the shed gate open — degradation only under degradation.
-        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), true);
+        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(5.0), 1, true, &mut tel);
         assert_eq!(c.shed, 0, "no shedding while the fleet is at full capacity");
 
         // A node goes offline; the still-queued gold re-offer now sheds
@@ -712,14 +809,15 @@ mod tests {
         let _ = cluster.recover_from_crash(NodeId(0));
         cluster.begin_repair(NodeId(0), 12);
         let bronze_before = cluster.placements().len();
-        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(10.0), true);
+        c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(10.0), 2, true, &mut tel);
         assert_eq!(c.shed, 1, "degraded capacity plus a waiting gold must shed");
         assert_eq!(c.per_class[2].shed, 1, "bronze is shed first");
         assert_eq!(c.evicted, 1, "a shed is charged as an eviction");
         assert_eq!(cluster.placements().len(), bronze_before - 1);
 
         // … and the next tick's re-offer places into the freed slot.
-        let placed = c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(15.0), true);
+        let placed =
+            c.reoffer_pending(&mut retry, &mut cluster, &mut queue, Seconds::new(15.0), 3, true, &mut tel);
         assert_eq!(placed, 1, "the freed capacity admits the queued gold next tick");
         assert_eq!(c.per_class[0].placed, 1);
         assert_eq!(c.offered, c.placed + c.abandoned);
@@ -733,6 +831,7 @@ mod tests {
         let node_parts = vec![None; records.len()];
         let mut queue = EventQueue::new();
         let mut counters = ServeCounters::new(config.cluster.part_mix.len());
+        let mut tel = Telemetry::disabled();
         counters.recover_crashes(
             &mut cluster,
             &mut queue,
@@ -742,6 +841,7 @@ mod tests {
             Seconds::new(5.0),
             1,
             &legacy_policy(&config),
+            &mut tel,
         );
         assert_eq!(counters.crashes, 1);
         assert_eq!(points[0].min_offset_mv(), 0.0, "nominal points stay nominal");

@@ -162,6 +162,30 @@ pub struct ClusterSummary {
     pub chaos: Option<ChaosOutcome>,
 }
 
+/// Per-phase wall-clock attribution of the serving loop, from the
+/// run's [`uniserver_telemetry::StageProfiler`]. Machine-local like the
+/// rest of [`OrchestratorTiming`]; all values in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBreakdown {
+    /// Arrival-batch admission (scheduler submits) at tick starts.
+    pub placement_ms: f64,
+    /// Failure-predictor score updates inside the node-tick shards.
+    pub predictor_ms: f64,
+    /// Per-node hypervisor advancement inside the node-tick shards.
+    pub hypervisor_tick_ms: f64,
+    /// Retry-queue re-offers (admission-policy path).
+    pub retry_ms: f64,
+    /// Failure-driven crash recovery (migrate / evict / offline).
+    pub recovery_ms: f64,
+    /// Event-queue drains (departures, migration settlements).
+    pub events_ms: f64,
+    /// Repair countdowns and rejoin re-characterization passes.
+    pub rejoin_ms: f64,
+    /// The whole sharded fleet-tick phase, scatter and reduce included
+    /// (a superset of the hypervisor-tick and predictor shard time).
+    pub tick_wall_ms: f64,
+}
+
 /// Wall-clock accounting of one run — machine-local, deliberately kept
 /// out of [`ClusterSummary`] so the deterministic artefact stays
 /// byte-stable.
@@ -185,6 +209,8 @@ pub struct OrchestratorTiming {
     /// wall-clock from a single-core container is never mistaken for a
     /// multi-worker regression.
     pub cores: usize,
+    /// Per-phase attribution of the serving loop.
+    pub stages: StageBreakdown,
 }
 
 /// Nominal-vs-extended comparison off one seed: the first end-to-end

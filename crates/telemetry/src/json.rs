@@ -1,0 +1,148 @@
+//! Minimal JSON emission with a stable field order — enough for the
+//! workspace's machine-readable summaries without a serde_json
+//! dependency. Numbers render through Rust's shortest-roundtrip float
+//! formatting, so identical values always produce identical bytes.
+
+/// Builder for one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    any: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object.
+    #[must_use]
+    pub fn object() -> Self {
+        JsonWriter { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        self.buf.push_str(name);
+        self.buf.push_str("\":");
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes a float field. Non-finite values become `null` (JSON
+    /// has no NaN/Inf).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            let mut s = format!("{value}");
+            if !s.contains(['.', 'e', 'E']) {
+                s.push_str(".0");
+            }
+            self.buf.push_str(&s);
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a string field (escaping quotes/backslashes/control
+    /// characters).
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes an array field; `render` appends each element's JSON to
+    /// the output buffer.
+    pub fn field_array<T, I, F>(&mut self, name: &str, items: I, mut render: F) -> &mut Self
+    where
+        I: Iterator<Item = T>,
+        F: FnMut(T, &mut String),
+    {
+        self.key(name);
+        self.buf.push('[');
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            render(item, &mut self.buf);
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes a nested-object field, built by `build` on a fresh
+    /// writer.
+    pub fn field_object<F>(&mut self, name: &str, build: F) -> &mut Self
+    where
+        F: FnOnce(&mut JsonWriter),
+    {
+        self.key(name);
+        let mut inner = JsonWriter::object();
+        build(&mut inner);
+        self.buf.push_str(&inner.finish());
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JsonWriter;
+
+    #[test]
+    fn stable_field_order_and_escaping() {
+        let mut w = JsonWriter::object();
+        w.field_u64("a", 1);
+        w.field_f64("b", 2.5);
+        w.field_f64("c", 3.0);
+        w.field_f64("nan", f64::NAN);
+        w.field_str("s", "x\"y\\z\n");
+        assert_eq!(
+            w.finish(),
+            "{\"a\":1,\"b\":2.5,\"c\":3.0,\"nan\":null,\"s\":\"x\\\"y\\\\z\\u000a\"}"
+        );
+    }
+
+    #[test]
+    fn arrays_render_in_order() {
+        let mut w = JsonWriter::object();
+        w.field_array("xs", [1u64, 2, 3].into_iter(), |x, out| out.push_str(&x.to_string()));
+        assert_eq!(w.finish(), r#"{"xs":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn nested_objects_render_in_place() {
+        let mut w = JsonWriter::object();
+        w.field_u64("a", 1);
+        w.field_object("inner", |o| {
+            o.field_u64("x", 2);
+            o.field_f64("y", 0.5);
+        });
+        w.field_u64("b", 3);
+        assert_eq!(w.finish(), r#"{"a":1,"inner":{"x":2,"y":0.5},"b":3}"#);
+    }
+}

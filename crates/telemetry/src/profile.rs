@@ -1,0 +1,194 @@
+//! The hierarchical stage profiler: wall-clock scoped spans in the
+//! style of `tracing::instrument`, attributing serve time to the
+//! phases of the orchestrator loop.
+//!
+//! Timings are **machine-local wall-clock** and deliberately live
+//! outside every deterministic artefact — they land next to `cores` in
+//! the non-deterministic timing block of `BENCH_*.json`. The
+//! accumulators are relaxed atomics so the sharded per-node phase can
+//! add its nanoseconds from worker threads without ordering traffic;
+//! addition commutes, so the totals are scheduling-independent (their
+//! *values* are wall-clock and vary run to run regardless).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One phase of an orchestrated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Parallel EOP deploy of the rack (before the serve loop).
+    Deploy,
+    /// Repair-clock ticking and rejoin re-characterization.
+    Rejoin,
+    /// Draining due departures/settlements from the event queue.
+    Events,
+    /// Re-offering queued rejections (the retry queue).
+    RetryQueue,
+    /// First-time arrival admission (placement decisions).
+    Placement,
+    /// The whole sharded node-advance phase (wall-clock of the tick
+    /// fan-out; parent of `NodeTick` and `Predictor`).
+    Tick,
+    /// Per-node hypervisor ticking, summed across workers (child of
+    /// `Tick`).
+    NodeTick,
+    /// Per-node predictor log scans, summed across workers (child of
+    /// `Tick`).
+    Predictor,
+    /// Failure-driven recovery (crash migration/eviction).
+    Recovery,
+}
+
+/// All stages, in display order.
+pub const STAGES: [Stage; 9] = [
+    Stage::Deploy,
+    Stage::Rejoin,
+    Stage::Events,
+    Stage::RetryQueue,
+    Stage::Placement,
+    Stage::Tick,
+    Stage::NodeTick,
+    Stage::Predictor,
+    Stage::Recovery,
+];
+
+impl Stage {
+    fn idx(self) -> usize {
+        match self {
+            Stage::Deploy => 0,
+            Stage::Rejoin => 1,
+            Stage::Events => 2,
+            Stage::RetryQueue => 3,
+            Stage::Placement => 4,
+            Stage::Tick => 5,
+            Stage::NodeTick => 6,
+            Stage::Predictor => 7,
+            Stage::Recovery => 8,
+        }
+    }
+
+    /// Human label, e.g. for rendered breakdowns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Deploy => "deploy",
+            Stage::Rejoin => "rejoin",
+            Stage::Events => "events",
+            Stage::RetryQueue => "retry_queue",
+            Stage::Placement => "placement",
+            Stage::Tick => "tick",
+            Stage::NodeTick => "node_tick",
+            Stage::Predictor => "predictor",
+            Stage::Recovery => "recovery",
+        }
+    }
+
+    /// The enclosing stage, for the two spans nested inside the tick
+    /// fan-out.
+    #[must_use]
+    pub fn parent(self) -> Option<Stage> {
+        match self {
+            Stage::NodeTick | Stage::Predictor => Some(Stage::Tick),
+            _ => None,
+        }
+    }
+}
+
+/// Wall-clock accumulator per stage. Shared across threads via `Arc`;
+/// spans add their elapsed nanoseconds on drop.
+#[derive(Debug, Default)]
+pub struct StageProfiler {
+    nanos: [AtomicU64; 9],
+}
+
+impl StageProfiler {
+    /// A zeroed profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a scoped span: the elapsed wall-clock between this call
+    /// and the guard's drop is added to `stage`.
+    #[must_use]
+    pub fn scoped(&self, stage: Stage) -> StageSpan<'_> {
+        StageSpan { profiler: self, stage, start: Instant::now() }
+    }
+
+    /// Adds pre-measured nanoseconds to a stage (the sharded paths
+    /// accumulate locally and flush once per chunk).
+    pub fn add_nanos(&self, stage: Stage, nanos: u64) {
+        self.nanos[stage.idx()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds accumulated on a stage.
+    #[must_use]
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds accumulated on a stage.
+    #[must_use]
+    pub fn ms(&self, stage: Stage) -> f64 {
+        self.nanos(stage) as f64 / 1e6
+    }
+}
+
+/// RAII span guard returned by [`StageProfiler::scoped`].
+#[derive(Debug)]
+pub struct StageSpan<'a> {
+    profiler: &'a StageProfiler,
+    stage: Stage,
+    start: Instant,
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        #[allow(clippy::cast_possible_truncation)]
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.profiler.add_nanos(self.stage, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_and_add_nanos_composes() {
+        let p = StageProfiler::new();
+        {
+            let _span = p.scoped(Stage::Placement);
+            std::hint::black_box(0u64);
+        }
+        p.add_nanos(Stage::Placement, 1_000_000);
+        assert!(p.nanos(Stage::Placement) >= 1_000_000);
+        assert!(p.ms(Stage::Placement) >= 1.0);
+        assert_eq!(p.nanos(Stage::Recovery), 0);
+    }
+
+    #[test]
+    fn hierarchy_names_the_tick_children() {
+        assert_eq!(Stage::NodeTick.parent(), Some(Stage::Tick));
+        assert_eq!(Stage::Predictor.parent(), Some(Stage::Tick));
+        assert_eq!(Stage::Placement.parent(), None);
+        for stage in STAGES {
+            assert!(!stage.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn profiler_is_shareable_across_threads() {
+        let p = std::sync::Arc::new(StageProfiler::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || p.add_nanos(Stage::NodeTick, 10))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.nanos(Stage::NodeTick), 40);
+    }
+}
