@@ -19,6 +19,7 @@
 //!           [--no-per-node]
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
 //!           [--threads K] [--nominal] [--profile flat|flash|chaos]
+//!           [--policy energy-sla|consolidate|reliability-blind]
 //!           [--place linear|indexed] [--bench PATH] [--label NAME]
 //!           [--no-per-tick] [--per-tick-every N]
 //!           [--trace-out PATH] [--metrics-out PATH]
@@ -42,6 +43,14 @@
 //!   through re-characterization, and the summary reports downtime,
 //!   lost capacity and availability. `--profile flat` is the default
 //!   and reproduces the legacy stream byte-for-byte.
+//! * `--policy` (cluster mode) selects the placement policy the rack
+//!   routes every decision through. `energy-sla` is the reference
+//!   energy/SLA scorer and reproduces the default stdout byte-for-byte;
+//!   `consolidate` packs VMs onto the fewest nodes and parks drained
+//!   nodes in a near-zero-power sleep state (the summary grows a
+//!   `power` object); `reliability-blind` is the ablation that ignores
+//!   the failure predictor entirely. Unknown names exit non-zero before
+//!   anything runs.
 //! * `--place linear` (cluster mode) routes placement through the
 //!   reference `Scheduler::place_linear` scan instead of the default
 //!   incremental index — the two are equivalent by construction, and CI
@@ -78,7 +87,7 @@ use std::process::ExitCode;
 
 use uniserver_bench::cluster::{bench_record, summary_to_json};
 use uniserver_bench::fleet::{simulate_timed, FleetConfig};
-use uniserver_orchestrator::{run_with_telemetry, MarginPolicy, OrchestratorConfig};
+use uniserver_orchestrator::{run_with_telemetry, MarginPolicy, OrchestratorConfig, PolicyKind};
 use uniserver_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 use uniserver_stress::campaign::ShmooCampaign;
 use uniserver_units::Seconds;
@@ -109,6 +118,9 @@ struct Args {
     /// `None` = flag absent (so fleet mode can reject *any*
     /// `--profile`).
     profile: Option<Profile>,
+    /// `None` = flag absent (so fleet mode can reject *any* `--policy`,
+    /// including the default-equivalent `energy-sla`).
+    policy: Option<PolicyKind>,
     /// `Some(true)` = linear, `Some(false)` = indexed; `None` = flag
     /// absent (so fleet mode can reject *any* `--place`, not just
     /// `--place linear`).
@@ -138,6 +150,7 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         baseline: false,
         nominal: false,
         profile: None,
+        policy: None,
         linear_place: None,
         bench: None,
         label: None,
@@ -180,6 +193,15 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                         ))
                     }
                 });
+            }
+            "--policy" => {
+                let name = value("--policy")?;
+                args.policy = Some(PolicyKind::parse(&name).ok_or_else(|| {
+                    format!(
+                        "--policy must be energy-sla, consolidate or reliability-blind, \
+                         got '{name}'"
+                    )
+                })?);
             }
             "--place" => {
                 args.linear_place = Some(match value("--place")?.as_str() {
@@ -235,6 +257,9 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
         if args.profile.is_some() {
             return Err("--profile requires --cluster (fleet mode has no arrival stream)".into());
         }
+        if args.policy.is_some() {
+            return Err("--policy requires --cluster (fleet mode has no scheduler)".into());
+        }
         if args.tick.is_some() {
             return Err("--tick requires --cluster (fleet mode uses a fixed 1 s tick)".into());
         }
@@ -259,7 +284,8 @@ fn usage() {
         "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
-         [--threads K] [--nominal] [--profile flat|flash|chaos] [--place linear|indexed] \
+         [--threads K] [--nominal] [--profile flat|flash|chaos] \
+         [--policy energy-sla|consolidate|reliability-blind] [--place linear|indexed] \
          [--bench PATH] [--label NAME] [--no-per-tick] [--per-tick-every N] \
          [--trace-out PATH] [--metrics-out PATH]"
     );
@@ -300,6 +326,9 @@ fn run_cluster(args: Args) -> ExitCode {
     }
     config.threads = args.threads;
     config.linear_placement = args.linear_place.unwrap_or(false);
+    if let Some(policy) = args.policy {
+        config.policy = policy;
+    }
     if args.nominal {
         config.margins = MarginPolicy::Nominal;
     }
@@ -365,7 +394,13 @@ fn run_cluster(args: Args) -> ExitCode {
                 Profile::Flash => "-flash",
                 Profile::Chaos => "-chaos",
             };
-            format!("cluster{tag}-{}", summary.margins)
+            // The reference policy keeps the legacy label; deviations
+            // tag themselves so a BENCH_policy.json matrix reads as one.
+            let policy = match config.policy {
+                PolicyKind::EnergySla => String::new(),
+                other => format!("-{}", other.label()),
+            };
+            format!("cluster{tag}{policy}-{}", summary.margins)
         });
         return append_bench(&path, &bench_record(&summary, &timing, &label));
     }

@@ -20,6 +20,11 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
     w.field_u64("nodes", s.nodes as u64);
     w.field_u64("seed", s.seed);
     w.field_str("margins", &s.margins);
+    // Present only when the run deviates from the reference policy, so
+    // legacy summaries stay byte-identical.
+    if let Some(policy) = &s.policy {
+        w.field_str("policy", policy);
+    }
     w.field_f64("horizon_secs", s.horizon_secs);
     w.field_f64("tick_secs", s.tick_secs);
     w.field_u64("ticks", s.ticks);
@@ -69,6 +74,15 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
             o.field_u64("shed", chaos.shed);
         });
     }
+    if let Some(power) = &s.power {
+        w.field_object("power", |o| {
+            o.field_u64("parks", power.parks);
+            o.field_u64("wakes", power.wakes);
+            o.field_u64("consolidation_migrations", power.consolidation_migrations);
+            o.field_f64("asleep_node_secs", power.asleep_node_secs);
+            o.field_u64("peak_asleep", power.peak_asleep);
+        });
+    }
     w.field_array("per_part", s.per_part.iter(), |part, out| {
         let mut pw = JsonWriter::object();
         pw.field_str("part", &part.part);
@@ -94,6 +108,21 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
     w.finish()
 }
 
+/// Physical core count of the host, from `/proc/cpuinfo` — may exceed
+/// the process-available [`uniserver_cloudmgr::pool::cores`] in a
+/// cgroup-limited container, and is recorded alongside it so the bench
+/// records' wall-clocks are interpretable (a "slow" row from a 2-of-64
+/// core container is not a regression). Falls back to the available
+/// parallelism when the probe fails (non-Linux hosts).
+#[must_use]
+pub fn host_cores() -> usize {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|info| info.lines().filter(|l| l.starts_with("processor")).count())
+        .ok()
+        .filter(|&n| n > 0)
+        .unwrap_or_else(uniserver_cloudmgr::pool::cores)
+}
+
 /// The full `BENCH_cluster.json` record: the run's headline outcome
 /// (margins, fleet energy, crash count, admission accounting — total
 /// and per class, so a flash-crowd row shows who got retried and who
@@ -109,6 +138,9 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
     let mut w = JsonWriter::object();
     w.field_str("label", label);
     w.field_str("margins", &s.margins);
+    if let Some(policy) = &s.policy {
+        w.field_str("policy", policy);
+    }
     w.field_f64("energy_j", s.energy_j);
     w.field_u64("crashes", s.crashes);
     w.field_u64("offered", s.offered);
@@ -139,10 +171,22 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
             o.field_u64("shed", chaos.shed);
         });
     }
+    // Power accounting rides along only when the run's policy manages
+    // node power (consolidation), same gating as the chaos object.
+    if let Some(power) = &s.power {
+        w.field_object("power", |o| {
+            o.field_u64("parks", power.parks);
+            o.field_u64("wakes", power.wakes);
+            o.field_u64("consolidation_migrations", power.consolidation_migrations);
+            o.field_f64("asleep_node_secs", power.asleep_node_secs);
+            o.field_u64("peak_asleep", power.peak_asleep);
+        });
+    }
     w.field_u64("nodes", t.nodes as u64);
     w.field_u64("arrivals", t.arrivals);
     w.field_u64("threads", t.workers as u64);
     w.field_u64("cores", t.cores as u64);
+    w.field_u64("host_cores", host_cores() as u64);
     // Per-phase serve attribution from the stage profiler — wall-clock,
     // machine-local, next to the other timing columns by design.
     w.field_object("stages", |o| {
@@ -198,6 +242,7 @@ mod tests {
             "\"nodes\":2",
             "\"arrivals\":",
             "\"cores\":",
+            "\"host_cores\":",
             "\"stages\":{\"placement_ms\":",
             "\"hypervisor_tick_ms\":",
             "\"tick_wall_ms\":",
@@ -208,6 +253,48 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains("\"chaos\":"), "legacy rows must not grow a chaos object");
+        assert!(!json.contains("\"policy\":"), "the reference policy rides unlabeled");
+        assert!(!json.contains("\"power\":"), "non-managing rows must not grow a power object");
+    }
+
+    #[test]
+    fn power_outcomes_render_only_for_managing_policies() {
+        use uniserver_orchestrator::PolicyKind;
+
+        let mut config = OrchestratorConfig::smoke(4, 77);
+        config.policy = PolicyKind::Consolidate;
+        let (summary, timing) = run_timed(&config);
+        assert_eq!(summary.policy.as_deref(), Some("consolidate"));
+        assert!(summary.power.is_some());
+        let record = bench_record(&summary, &timing, "consolidate");
+        let json = summary_to_json(&summary, false);
+        for key in [
+            "\"policy\":\"consolidate\"",
+            "\"power\":{\"parks\":",
+            "\"wakes\":",
+            "\"consolidation_migrations\":",
+            "\"asleep_node_secs\":",
+            "\"peak_asleep\":",
+        ] {
+            assert!(record.contains(key), "missing {key} in {record}");
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+
+        // The ablation is labeled but manages no power.
+        config.policy = PolicyKind::ReliabilityBlind;
+        let (summary, _) = run_timed(&config);
+        assert_eq!(summary.policy.as_deref(), Some("reliability-blind"));
+        assert!(summary.power.is_none());
+        let json = summary_to_json(&summary, false);
+        assert!(json.contains("\"policy\":\"reliability-blind\""));
+        assert!(!json.contains("\"power\":"));
+
+        // Explicitly selecting the reference is indistinguishable from
+        // the default: no label, no power object.
+        config.policy = PolicyKind::EnergySla;
+        let (summary, _) = run_timed(&config);
+        assert!(summary.policy.is_none());
+        assert!(summary.power.is_none());
     }
 
     #[test]

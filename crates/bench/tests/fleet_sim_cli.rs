@@ -42,6 +42,10 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         &["--profile", "chaos"][..],
         &["--cluster", "--profile"][..],
         &["--cluster", "--profile", "bogus"][..],
+        &["--policy", "consolidate"][..],
+        &["--policy", "energy-sla"][..],
+        &["--cluster", "--policy"][..],
+        &["--cluster", "--policy", "bogus"][..],
         &["--trace-out", "/tmp/x.ndjson"][..],
         &["--metrics-out", "/tmp/x.json"][..],
         &["--per-tick-every", "2"][..],
@@ -144,6 +148,49 @@ fn indexed_and_linear_placement_are_byte_identical() {
     let linear = fleet_sim(&[base, &["--place", "linear"][..]].concat());
     assert!(linear.status.success());
     assert_eq!(indexed.stdout, linear.stdout, "index diverged from the linear scan");
+}
+
+#[test]
+fn energy_sla_policy_flag_is_the_default_byte_for_byte() {
+    // Explicitly selecting the reference policy must be a no-op
+    // spelling of the default — no label, no power object, same bytes.
+    let base = &["--cluster", "--nodes", "6", "--secs", "60", "--seed", "11"];
+    let implicit = fleet_sim(base);
+    assert!(implicit.status.success());
+    let explicit = fleet_sim(&[base, &["--policy", "energy-sla"][..]].concat());
+    assert!(explicit.status.success());
+    assert_eq!(implicit.stdout, explicit.stdout);
+    let json = String::from_utf8_lossy(&implicit.stdout);
+    assert!(!json.contains("\"policy\":"), "the reference run must stay unlabeled");
+    assert!(!json.contains("\"power\":"));
+}
+
+#[test]
+fn consolidate_policy_is_byte_stable_and_reports_power_accounting() {
+    let base = &[
+        "--cluster", "--policy", "consolidate", "--nodes", "16", "--secs", "300", "--seed", "7",
+    ];
+    let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
+    assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
+    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "consolidation summaries must be byte-identical");
+    let json = String::from_utf8_lossy(&one.stdout);
+    assert!(json.contains("\"policy\":\"consolidate\""), "the run must be labeled: {json}");
+    assert!(json.contains("\"power\":{\"parks\":"), "power accounting missing: {json}");
+    for key in ["\"wakes\":", "\"consolidation_migrations\":", "\"asleep_node_secs\":", "\"peak_asleep\":"]
+    {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // The ablation is labeled but grows no power object.
+    let blind = fleet_sim(&[
+        "--cluster", "--policy", "reliability-blind", "--nodes", "6", "--secs", "60", "--seed", "7",
+    ]);
+    assert!(blind.status.success());
+    let json = String::from_utf8_lossy(&blind.stdout);
+    assert!(json.contains("\"policy\":\"reliability-blind\""));
+    assert!(!json.contains("\"power\":"));
 }
 
 #[test]

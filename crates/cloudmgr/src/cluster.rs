@@ -30,9 +30,10 @@ use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
 use crate::failure::{FailurePredictor, ScoreUpdate};
 use crate::index::PlacementIndex;
-use crate::lifecycle::NodePhase;
+use crate::lifecycle::{NodePhase, NodePower};
 use crate::migrate::MigrationModel;
 use crate::node::{ManagedNode, NodeId};
+use crate::policy::{EnergySlaPolicy, PlacementDecision, PlacementPolicy, RackView};
 use crate::pool::ShardPool;
 use crate::scheduler::Scheduler;
 use crate::sla::SlaClass;
@@ -162,6 +163,19 @@ pub struct ClusterTickReport {
     pub evicted: Vec<Placement>,
 }
 
+/// Power-management counters a consolidating policy accumulates. All
+/// zero under policies that never park anyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PowerStats {
+    /// Sleep transitions: nodes parked (drained or already empty).
+    pub parks: u64,
+    /// Wake transitions, all demand-driven.
+    pub wakes: u64,
+    /// VMs moved by consolidation drains (not crash- or
+    /// prediction-driven).
+    pub consolidation_migrations: u64,
+}
+
 /// The outcome of failure-driven recovery after one node crash.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrashRecovery {
@@ -230,6 +244,15 @@ fn advance_slice(
                 }
                 return None;
             }
+            // Asleep nodes are frozen: no hypervisor tick, no crash
+            // draws, no predictor observation. Their sleep-state energy
+            // is charged by the sequential reduce, not here.
+            if node.is_asleep() {
+                if let Some(m) = &mut stats.metrics {
+                    m.inc("node_ticks_skipped_asleep");
+                }
+                return None;
+            }
             let adv = if profile {
                 let t0 = Instant::now();
                 let outcome = node.tick(duration);
@@ -263,7 +286,11 @@ fn advance_slice(
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<ManagedNode>,
-    scheduler: Scheduler,
+    /// The placement policy every submit/re-offer/recovery decision and
+    /// the periodic management pass route through. Immutable and
+    /// shared; defaults to the reference [`EnergySlaPolicy`] over the
+    /// configured scheduler.
+    policy: Arc<dyn PlacementPolicy>,
     predictor: FailurePredictor,
     migration: MigrationModel,
     /// Incremental placement index over `nodes` (see [`PlacementIndex`]).
@@ -278,6 +305,9 @@ pub struct Cluster {
     evictions: u64,
     migration_downtime: Seconds,
     rejected: u64,
+    /// Park/wake/consolidation counters (all zero unless the policy
+    /// manages power states).
+    power_stats: PowerStats,
     /// Wall-clock stage attribution for the per-node phase, when a
     /// caller installed one (machine-local; never in a report).
     profiler: Option<Arc<StageProfiler>>,
@@ -326,7 +356,7 @@ impl Cluster {
         let index = PlacementIndex::new(nodes.len());
         Cluster {
             nodes,
-            scheduler,
+            policy: Arc::new(EnergySlaPolicy::new(scheduler)),
             predictor: FailurePredictor::new(),
             migration,
             index,
@@ -338,9 +368,24 @@ impl Cluster {
             evictions: 0,
             migration_downtime: Seconds::ZERO,
             rejected: 0,
+            power_stats: PowerStats::default(),
             profiler: None,
             metrics: None,
         }
+    }
+
+    /// Installs a placement policy; subsequent placement decisions and
+    /// management passes route through it. The index keeps caching the
+    /// policy's weigher, so the whole rack is re-scored.
+    pub fn set_policy(&mut self, policy: Arc<dyn PlacementPolicy>) {
+        self.policy = policy;
+        self.index.mark_all();
+    }
+
+    /// The installed placement policy.
+    #[must_use]
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
     }
 
     /// Installs a stage profiler: the per-node phase attributes its
@@ -395,23 +440,58 @@ impl Cluster {
         self.linear_placement = linear;
     }
 
-    /// One placement decision: the feasible node with the highest
-    /// `(score, NodeId)`, via the index or the reference linear scan.
+    /// One policy decision over the current rack view: indexed (flushed
+    /// first) or the reference linear scan, identical ordering either
+    /// way.
+    fn decide_on(
+        &mut self,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> PlacementDecision {
+        let policy = Arc::clone(&self.policy);
+        if self.linear_placement {
+            policy.decide(&RackView::linear(&self.nodes), config, class, avoid)
+        } else {
+            self.index.flush(policy.scheduler(), &self.nodes);
+            policy.decide(&RackView::indexed(&self.nodes, &self.index), config, class, avoid)
+        }
+    }
+
+    /// One placement decision, executing wake-on-demand: a policy that
+    /// answers [`PlacementDecision::WakeAndPlace`] gets its candidate
+    /// woken here, in the same decision.
     fn place_on(
         &mut self,
         config: &VmConfig,
         class: SlaClass,
         exclude: Option<NodeId>,
     ) -> Option<NodeId> {
-        if self.linear_placement {
-            self.scheduler.place_linear(
-                self.nodes.iter().filter(|n| Some(n.id) != exclude),
-                config,
-                class,
-            )
-        } else {
-            self.index.flush(&self.scheduler, &self.nodes);
-            self.index.place(&self.scheduler, &self.nodes, config, class, exclude)
+        let buf;
+        let avoid: &[NodeId] = match exclude {
+            Some(id) => {
+                buf = [id];
+                &buf
+            }
+            None => &[],
+        };
+        match self.decide_on(config, class, avoid) {
+            PlacementDecision::Place(id) => Some(id),
+            PlacementDecision::WakeAndPlace(id) => {
+                self.wake_node(id);
+                Some(id)
+            }
+            PlacementDecision::Reject => None,
+        }
+    }
+
+    /// A placement decision that refuses to wake anyone — consolidation
+    /// drains use this so emptying one node can never power another one
+    /// up.
+    fn place_no_wake(&mut self, config: &VmConfig, class: SlaClass, source: NodeId) -> Option<NodeId> {
+        match self.decide_on(config, class, &[source]) {
+            PlacementDecision::Place(id) => Some(id),
+            _ => None,
         }
     }
 
@@ -419,6 +499,125 @@ impl Cluster {
     #[must_use]
     pub fn placements(&self) -> &[Placement] {
         &self.placements
+    }
+
+    /// Parks an online, evacuated node into the low-power sleep state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not online, is already asleep, or (debug
+    /// builds) still hosts tracked placements.
+    pub fn park_node(&mut self, id: NodeId) {
+        debug_assert!(
+            self.placements.iter().all(|p| p.node != id),
+            "{id} must be drained before parking"
+        );
+        let node = self.node_mut(id);
+        assert!(node.is_online(), "only online nodes can sleep");
+        assert!(!node.is_asleep(), "{id} is already asleep");
+        node.power = NodePower::Asleep;
+        self.index.mark(id);
+        self.power_stats.parks += 1;
+    }
+
+    /// Wakes a sleeping node; it ticks, consumes full power and takes
+    /// placements again from this call on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not asleep.
+    pub fn wake_node(&mut self, id: NodeId) {
+        let node = self.node_mut(id);
+        assert!(node.is_asleep(), "{id} is not asleep");
+        node.power = NodePower::Awake;
+        self.index.mark(id);
+        self.power_stats.wakes += 1;
+    }
+
+    /// Nodes currently parked in the sleep state.
+    #[must_use]
+    pub fn asleep_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_asleep()).count()
+    }
+
+    /// The accumulated park/wake/consolidation counters.
+    #[must_use]
+    pub fn power_stats(&self) -> PowerStats {
+        self.power_stats
+    }
+
+    /// Runs the policy's periodic management pass: parks empties, drains
+    /// stragglers within the plan's migration budget, and parks
+    /// fully-drained sources. A no-op (no flush, no occupancy scan)
+    /// under policies that do not manage power states.
+    pub fn manage(&mut self, tick: u64, seed: u64) {
+        if !self.policy.manages() {
+            return;
+        }
+        let policy = Arc::clone(&self.policy);
+        let mut occupancy = vec![0u32; self.nodes.len()];
+        for p in &self.placements {
+            occupancy[p.node.0 as usize] += 1;
+        }
+        let plan = if self.linear_placement {
+            policy.manage(&RackView::linear(&self.nodes), &occupancy, tick, seed)
+        } else {
+            self.index.flush(policy.scheduler(), &self.nodes);
+            policy.manage(&RackView::indexed(&self.nodes, &self.index), &occupancy, tick, seed)
+        };
+        // Parks first: a freshly-parked node can then never be chosen
+        // as a drain target below.
+        for &id in &plan.park {
+            self.park_node(id);
+        }
+        for &id in &plan.drain {
+            self.drain_node(id, &plan);
+        }
+    }
+
+    /// Drains one node for consolidation: live-migrates every resident
+    /// VM to a policy-chosen awake target, then parks the source.
+    /// Aborts with no side effects if any resident VM's predicted
+    /// migration exceeds the plan's budget (all-or-nothing — a hot VM
+    /// keeps its node awake rather than strand half the set); aborts
+    /// mid-way, leaving the source awake, if targets run out.
+    fn drain_node(&mut self, source: NodeId, plan: &crate::policy::ManagementPlan) {
+        let victims: Vec<Placement> =
+            self.placements.iter().filter(|p| p.node == source).cloned().collect();
+        if victims.is_empty() {
+            return; // departures raced the plan; the next pass parks it
+        }
+        for victim in &victims {
+            let node = self.node_ref(source);
+            let Some(vm) = node.hypervisor.vm(victim.vm) else { return };
+            if self.migration.cost(vm).duration.as_secs() > plan.max_migration_secs {
+                return;
+            }
+        }
+        for victim in victims {
+            let (config, cost) = {
+                let Some(vm) = self.node_ref(source).hypervisor.vm(victim.vm) else { return };
+                (vm.config.clone(), self.migration.cost(vm))
+            };
+            let Some(target) = self.place_no_wake(&config, victim.class, source) else { return };
+            // Pre-copy semantics: the source copy keeps running until
+            // the target launch succeeds, so a failed cutover leaves
+            // the VM untouched (unlike crash evacuation, nothing forces
+            // it off).
+            let Ok(new_vm) = self.node_mut(target).launch(config) else { return };
+            self.index.mark(target);
+            self.node_mut(source).hypervisor.stop_vm(victim.vm);
+            self.index.mark(source);
+            let slot = self
+                .placements
+                .iter_mut()
+                .find(|p| p.id == victim.id)
+                .expect("victim is tracked");
+            *slot = Placement { id: victim.id, node: target, vm: new_vm, class: victim.class };
+            self.power_stats.consolidation_migrations += 1;
+            self.migration_downtime = self.migration_downtime + cost.downtime;
+        }
+        self.park_node(source);
     }
 
     /// Submits a VM request; returns its placement if a node was found.
@@ -509,7 +708,16 @@ impl Cluster {
         let predictor = &mut self.predictor;
         let index = &mut self.index;
         for (node, adv) in self.nodes.iter_mut().zip(advances) {
-            let Some(adv) = adv else { continue };
+            let Some(adv) = adv else {
+                // Asleep nodes produced no advance either, but unlike
+                // offline nodes they draw sleep power — charged here in
+                // the sequential reduce so the float sums stay in
+                // node-index order for any worker count.
+                if node.is_online() && node.is_asleep() {
+                    energy = energy + node.accrue_sleep_energy(duration);
+                }
+                continue;
+            };
             energy = energy + adv.energy;
             crashes.extend(adv.crash_events.into_iter().map(|ev| (node.id, ev)));
             let reliability = predictor.apply(node.id.0, adv.score);
@@ -528,7 +736,13 @@ impl Cluster {
         // moves by the crash line that just hit their own log.
         let crashed_now: Vec<NodeId> = crashes.iter().map(|(id, _)| *id).collect();
         let before = self.migrations;
-        let evicted = self.proactive_migrations(&crashed_now);
+        // The blind ablation cannot see the predictor's signal, so it
+        // never migrates proactively.
+        let evicted = if self.policy.proactive_migration() {
+            self.proactive_migrations(&crashed_now)
+        } else {
+            Vec::new()
+        };
         ClusterTickReport {
             crashes,
             energy,
@@ -823,7 +1037,11 @@ impl Cluster {
     ///
     /// Panics if `id` is not a node of this cluster.
     pub fn mark_crashed(&mut self, id: NodeId) {
-        self.node_mut(id).phase = NodePhase::Crashed;
+        let node = self.node_mut(id);
+        node.phase = NodePhase::Crashed;
+        // A crash is a power cycle: whatever repairs and rejoins comes
+        // back awake, so only Online nodes are ever asleep.
+        node.power = NodePower::Awake;
         self.index.mark(id);
     }
 
@@ -1261,6 +1479,118 @@ mod tests {
     fn online_nodes_cannot_rejoin() {
         let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(1), 100);
         cluster.complete_rejoin(NodeId(0));
+    }
+
+    #[test]
+    fn parked_nodes_freeze_and_draw_only_sleep_power() {
+        use crate::lifecycle::SLEEP_POWER_WATTS;
+
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        cluster.park_node(NodeId(2));
+        assert_eq!(cluster.asleep_count(), 1);
+        assert_eq!(cluster.power_stats().parks, 1);
+        // Placements route around the sleeper under the default policy.
+        for _ in 0..4 {
+            let p = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed");
+            assert_ne!(p.node, NodeId(2), "the default policy never places onto sleepers");
+        }
+        for _ in 0..5 {
+            cluster.tick(Seconds::new(1.0));
+        }
+        let sleeper = cluster.nodes()[2].metrics();
+        let expected = SLEEP_POWER_WATTS * 5.0;
+        assert!(
+            (sleeper.energy.as_joules() - expected).abs() < 1e-9,
+            "5 s asleep must cost exactly {expected} J, got {}",
+            sleeper.energy.as_joules()
+        );
+        assert!(
+            cluster.nodes()[0].metrics().energy.as_joules() > expected,
+            "an awake node must out-consume the sleeper"
+        );
+        cluster.wake_node(NodeId(2));
+        assert_eq!(cluster.asleep_count(), 0);
+        assert_eq!(cluster.power_stats().wakes, 1);
+    }
+
+    #[test]
+    fn asleep_skip_is_worker_count_invariant() {
+        let build = || {
+            let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(6), 100);
+            for i in 0..6 {
+                let class = if i % 2 == 0 { SlaClass::Gold } else { SlaClass::Bronze };
+                cluster.submit(VmConfig::idle_guest(), class);
+            }
+            // Evacuate node 4 by terminating whatever landed on it, then
+            // park it; node 2 goes offline so both skip paths coexist.
+            let on_four: Vec<PlacementId> =
+                cluster.placements_on(NodeId(4)).iter().map(|p| p.id).collect();
+            for id in on_four {
+                cluster.terminate_by_id(id);
+            }
+            cluster.park_node(NodeId(4));
+            let crashed = NodeId(2);
+            cluster.mark_crashed(crashed);
+            cluster.recover_from_crash(crashed);
+            cluster.begin_repair(crashed, 30);
+            cluster
+        };
+        let mut seq = build();
+        let mut par = build();
+        for tick in 0..20 {
+            let a = seq.tick(Seconds::new(1.0));
+            let b = par.tick_sharded(Seconds::new(1.0), 4);
+            assert_eq!(a, b, "asleep skip changed tick {tick} across worker counts");
+        }
+        assert_eq!(seq.fleet_metrics(), par.fleet_metrics());
+        assert_eq!(seq.power_stats(), par.power_stats());
+    }
+
+    #[test]
+    fn consolidating_cluster_packs_drains_and_parks() {
+        use crate::policy::{ConsolidatePolicy, EnergySlaPolicy};
+
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(6), 100);
+        cluster.set_policy(Arc::new(ConsolidatePolicy::new(Scheduler::default())));
+        // Six bronze guests pack onto one node (ties break to the lowest
+        // id on the packing end, so the empty rack fills node 0 first)
+        // instead of spreading.
+        let placed: Vec<Placement> = (0..6)
+            .map(|_| cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed"))
+            .collect();
+        let hosts: std::collections::HashSet<NodeId> = placed.iter().map(|p| p.node).collect();
+        assert_eq!(hosts, std::collections::HashSet::from([NodeId(0)]), "consolidation must pack");
+        // The management pass parks the empties beyond the spare buffer
+        // (identical empties tie, so the two highest ids stay awake).
+        cluster.manage(0, 42);
+        assert_eq!(cluster.asleep_count(), 3, "6 nodes - 1 host - 2 spares = 3 parked");
+        assert_eq!(cluster.power_stats().parks, 3);
+
+        // Strand one tracked straggler on a spare via the spreading
+        // reference policy (it picks the best-scored awake node — an
+        // empty spare, tie-broken to the highest id: node 5).
+        cluster.set_policy(Arc::new(EnergySlaPolicy::new(Scheduler::default())));
+        let straggler =
+            cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed");
+        assert_eq!(straggler.node, NodeId(5));
+        cluster.set_policy(Arc::new(ConsolidatePolicy::new(Scheduler::default())));
+
+        // The next pass drains the straggler into the pack (a cheap,
+        // within-budget migration) and parks its node.
+        cluster.manage(12, 42);
+        assert_eq!(cluster.power_stats().consolidation_migrations, 1);
+        assert_eq!(cluster.asleep_count(), 4, "the drained source joins the sleepers");
+        assert!(cluster.nodes()[5].is_asleep());
+        let moved = cluster
+            .placements()
+            .iter()
+            .find(|p| p.id == straggler.id)
+            .expect("straggler is still tracked");
+        assert_eq!(moved.node, NodeId(0), "the straggler joined the pack");
+        assert!(
+            cluster.fleet_metrics().migration_downtime.as_secs() > 0.0,
+            "consolidation moves pay real blackout"
+        );
     }
 
     /// A 6-node rack with one deep-undervolted node, one noisy DRAM

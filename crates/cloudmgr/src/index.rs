@@ -159,6 +159,25 @@ impl PlacementIndex {
         }
         None
     }
+
+    /// All indexed nodes in *ascending* `(score, NodeId)` order — the
+    /// other end of the ranking. A consolidation policy walks this to
+    /// find the lowest-scored (fullest, least desirable) node that still
+    /// fits a request, packing the rack instead of spreading it. Callers
+    /// must [`PlacementIndex::flush`] first.
+    pub fn ranked(&self) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert_eq!(self.dirty_count(), 0, "ranked() requires a flushed index");
+        self.by_score.iter().map(|&(_, id)| id)
+    }
+
+    /// All indexed nodes in *descending* `(score, NodeId)` order — the
+    /// best-first walk [`PlacementIndex::place`] uses, exposed so policy
+    /// implementations can apply their own per-candidate feasibility
+    /// checks. Callers must [`PlacementIndex::flush`] first.
+    pub fn ranked_rev(&self) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert_eq!(self.dirty_count(), 0, "ranked_rev() requires a flushed index");
+        self.by_score.iter().rev().map(|&(_, id)| id)
+    }
 }
 
 #[cfg(test)]

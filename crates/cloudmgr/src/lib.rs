@@ -13,6 +13,10 @@
 //!   the four management metrics;
 //! * [`sla`] — service classes and their requirements;
 //! * [`scheduler`] — Nova-style filter + weigher placement;
+//! * [`policy`] — pluggable placement policies over the scheduler
+//!   primitives: the reference energy/SLA scorer, pack-and-power-down
+//!   consolidation with node sleep states, and the reliability-blind
+//!   ablation;
 //! * [`failure`] — log-pattern failure prediction (refs [21][24]);
 //! * [`lifecycle`] — the node failure lifecycle: crashed nodes go
 //!   offline (real downtime, lost capacity) for a seeded MTTR window,
@@ -43,6 +47,7 @@ pub mod index;
 pub mod lifecycle;
 pub mod migrate;
 pub mod node;
+pub mod policy;
 pub mod pool;
 pub mod scheduler;
 pub mod sla;
@@ -50,12 +55,17 @@ pub mod stream;
 
 pub use cluster::{
     Cluster, ClusterConfig, ClusterTickReport, CrashRecovery, PartWeight, Placement, PlacementId,
+    PowerStats,
 };
 pub use failure::{FailurePredictor, ScoreUpdate};
 pub use index::PlacementIndex;
-pub use lifecycle::{FailureLifecycle, NodePhase};
+pub use lifecycle::{FailureLifecycle, NodePhase, NodePower, SLEEP_POWER_WATTS};
 pub use migrate::{MigrationCost, MigrationModel};
 pub use node::{ManagedNode, NodeId, NodeMetrics};
+pub use policy::{
+    ConsolidatePolicy, EnergySlaPolicy, ManagementPlan, PlacementDecision, PlacementPolicy,
+    PolicyKind, RackView, ReliabilityBlindPolicy,
+};
 pub use pool::{cores, resolve_workers, ShardPool};
 pub use scheduler::{Scheduler, SchedulerWeights};
 pub use sla::SlaClass;

@@ -49,6 +49,32 @@ impl NodePhase {
     }
 }
 
+/// Power state of an online node, orthogonal to [`NodePhase`]: a node
+/// can be fully operational yet parked in a low-power sleep state by a
+/// consolidation policy. Only `Online` nodes may be asleep — crashes
+/// and repairs wake a node as a side effect (the reboot is a power
+/// cycle).
+///
+/// Asleep nodes do not tick (no crash draws, no guest progress — they
+/// host nothing by construction), are excluded from the scheduler
+/// filter, and draw only [`SLEEP_POWER_WATTS`]. They wake synchronously
+/// on demand pressure: a placement decision that finds no awake
+/// feasible node may wake one and place onto it in the same tick
+/// (suspend-to-RAM resume is well under the 5 s datacenter tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NodePower {
+    /// Normal operation: ticking, placeable, consuming full power.
+    #[default]
+    Awake,
+    /// Parked by consolidation: near-zero power, frozen state.
+    Asleep,
+}
+
+/// Wall power of a sleeping node (suspend-to-RAM: DRAM refresh plus the
+/// BMC). Charged per tick by the cluster's deterministic reduce, so
+/// sleeping is cheap but not free and energy totals stay comparable.
+pub const SLEEP_POWER_WATTS: f64 = 2.5;
+
 /// Configuration of the failure lifecycle.
 ///
 /// Disabled (the default), crashed nodes never leave the pool and the

@@ -12,7 +12,7 @@ use uniserver_hypervisor::vm::{VmConfig, VmId};
 use uniserver_platform::node::ServerNode;
 use uniserver_platform::part::PartSpec;
 
-use crate::lifecycle::NodePhase;
+use crate::lifecycle::{NodePhase, NodePower, SLEEP_POWER_WATTS};
 
 /// Identifier of a node within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -51,6 +51,10 @@ pub struct ManagedNode {
     /// Failure-lifecycle phase; transitions go through the cluster's
     /// lifecycle methods so the placement index stays consistent.
     pub(crate) phase: NodePhase,
+    /// Power state; transitions go through the cluster's park/wake
+    /// methods so the placement index and power counters stay
+    /// consistent.
+    pub(crate) power: NodePower,
 }
 
 impl ManagedNode {
@@ -71,6 +75,7 @@ impl ManagedNode {
             energy: Joules::ZERO,
             reliability: 1.0,
             phase: NodePhase::Online,
+            power: NodePower::Awake,
         }
     }
 
@@ -87,11 +92,34 @@ impl ManagedNode {
         self.phase.is_online()
     }
 
+    /// The node's power state.
+    #[must_use]
+    pub fn power(&self) -> NodePower {
+        self.power
+    }
+
+    /// Whether the node is parked in the low-power sleep state. Asleep
+    /// nodes are online (lifecycle-wise) but do not tick and are
+    /// excluded from the scheduler filter.
+    #[must_use]
+    pub fn is_asleep(&self) -> bool {
+        self.power == NodePower::Asleep
+    }
+
     /// Ticks the node's hypervisor and accumulates energy.
     pub fn tick(&mut self, duration: Seconds) -> uniserver_hypervisor::hypervisor::TickOutcome {
         let outcome = self.hypervisor.tick(duration);
         self.energy = self.energy + outcome.energy;
         outcome
+    }
+
+    /// Charges one sleep interval at [`SLEEP_POWER_WATTS`] and returns
+    /// the energy drawn. Called by the cluster's sequential reduce for
+    /// nodes skipped by the tick loop because they are asleep.
+    pub(crate) fn accrue_sleep_energy(&mut self, duration: Seconds) -> Joules {
+        let drawn = Joules::new(SLEEP_POWER_WATTS * duration.as_secs());
+        self.energy = self.energy + drawn;
+        drawn
     }
 
     /// Launches a VM on this node.

@@ -1,0 +1,725 @@
+//! Pluggable placement policies: one trait, three competing managers.
+//!
+//! PR 8 demonstrated the paper's headline claim — extended-margin
+//! operation beats conservative scaling — under exactly one placement
+//! policy. To tell how much of the energy win survives a different
+//! scheduler, placement becomes a [`PlacementPolicy`] trait (the same
+//! pluggable-backend shape the hypervisor stack uses for guests) and
+//! the suite ships three implementations that compete on
+//! energy × crashes × SLA abandons:
+//!
+//! * [`EnergySlaPolicy`] — the reference: the Nova-style filter +
+//!   weigher pipeline of [`Scheduler`], byte-identical to the
+//!   pre-trait behavior.
+//! * [`ConsolidatePolicy`] — pack-and-power-down consolidation in the
+//!   Beloglazov et al. taxonomy: place onto the *lowest*-scored
+//!   feasible node (packing), park drained nodes in
+//!   [`NodePower::Asleep`](crate::lifecycle::NodePower) at near-zero
+//!   power, wake them on demand pressure, and rebalance with
+//!   migration-cost-aware drain thresholds.
+//! * [`ReliabilityBlindPolicy`] — the ablation:
+//!   [`SchedulerWeights::reliability_blind`] weighing plus a filter
+//!   with the reliability floor removed, quantifying what the
+//!   UniServer reliability signal buys.
+//!
+//! Policies are stateless: every decision is a pure function of the
+//! rack view and the request, and the only draws a policy may make are
+//! pure in `(seed, tick)` — so every summary row is byte-stable across
+//! worker counts, per the workspace determinism contract.
+
+use std::sync::Arc;
+
+use uniserver_hypervisor::vm::VmConfig;
+
+use crate::index::PlacementIndex;
+use crate::node::{ManagedNode, NodeId};
+use crate::scheduler::{Scheduler, SchedulerWeights};
+use crate::sla::SlaClass;
+
+/// The policy selector: a parseable, copyable name for each shipped
+/// policy, used by `OrchestratorConfig` and the `fleet_sim --policy`
+/// flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// The reference energy/SLA scorer (the default).
+    #[default]
+    EnergySla,
+    /// Pack-and-power-down consolidation with sleep states.
+    Consolidate,
+    /// The reliability-blind ablation.
+    ReliabilityBlind,
+}
+
+impl PolicyKind {
+    /// Every shipped policy, in matrix order.
+    pub const ALL: [PolicyKind; 3] =
+        [PolicyKind::EnergySla, PolicyKind::Consolidate, PolicyKind::ReliabilityBlind];
+
+    /// Parses a CLI policy name. Returns `None` for unknown names so
+    /// drivers can reject them before a run starts.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "energy-sla" => Some(PolicyKind::EnergySla),
+            "consolidate" => Some(PolicyKind::Consolidate),
+            "reliability-blind" => Some(PolicyKind::ReliabilityBlind),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI/JSON name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::EnergySla => "energy-sla",
+            PolicyKind::Consolidate => "consolidate",
+            PolicyKind::ReliabilityBlind => "reliability-blind",
+        }
+    }
+
+    /// Builds the policy object. `scheduler` carries the configured
+    /// weigher coefficients; the blind ablation substitutes its own
+    /// weights (that substitution *is* the ablation).
+    #[must_use]
+    pub fn build(self, scheduler: Scheduler) -> Arc<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::EnergySla => Arc::new(EnergySlaPolicy::new(scheduler)),
+            PolicyKind::Consolidate => Arc::new(ConsolidatePolicy::new(scheduler)),
+            PolicyKind::ReliabilityBlind => Arc::new(ReliabilityBlindPolicy::new()),
+        }
+    }
+}
+
+/// What a policy decided for one placement request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementDecision {
+    /// Place onto this awake, feasible node.
+    Place(NodeId),
+    /// Wake this sleeping node and place onto it (demand pressure).
+    WakeAndPlace(NodeId),
+    /// No feasible node, awake or asleep.
+    Reject,
+}
+
+/// A consolidation pass's orders: nodes to park (already empty) and
+/// nodes to drain (migrate off, then park). Disjoint lists; the cluster
+/// executes parks first so drain targets can never be freshly-parked
+/// nodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ManagementPlan {
+    /// Empty awake nodes to put to sleep immediately.
+    pub park: Vec<NodeId>,
+    /// Lightly-loaded nodes to drain towards the pack, then park.
+    pub drain: Vec<NodeId>,
+    /// Per-VM migration budget: a drain aborts if any resident VM's
+    /// predicted pre-copy duration exceeds this (migration-cost-aware
+    /// rebalancing — moving a hot VM costs more than the sleep saves).
+    pub max_migration_secs: f64,
+}
+
+/// A read-only view of the rack for policy decisions: the node slice
+/// plus, when the cluster runs indexed placement, the flushed
+/// [`PlacementIndex`] whose `BTreeSet` ranking serves *both* ends —
+/// best-first for spreading, worst-first for packing. With `index`
+/// absent (the `--place linear` reference path) every query falls back
+/// to a full scan with the identical `(score, NodeId)` ordering, so
+/// indexed and linear placement stay byte-comparable per policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RackView<'a> {
+    /// All managed nodes, dense by `NodeId`.
+    pub nodes: &'a [ManagedNode],
+    index: Option<&'a PlacementIndex>,
+}
+
+impl<'a> RackView<'a> {
+    /// A view backed by the flushed placement index.
+    #[must_use]
+    pub fn indexed(nodes: &'a [ManagedNode], index: &'a PlacementIndex) -> Self {
+        RackView { nodes, index: Some(index) }
+    }
+
+    /// A view that scans linearly (the reference path).
+    #[must_use]
+    pub fn linear(nodes: &'a [ManagedNode]) -> Self {
+        RackView { nodes, index: None }
+    }
+
+    /// Whether `node` can take the request right now: awake and
+    /// admitted by the policy's feasibility gates.
+    fn feasible<P: PlacementPolicy + ?Sized>(
+        node: &ManagedNode,
+        policy: &P,
+        config: &VmConfig,
+        class: SlaClass,
+    ) -> bool {
+        !node.is_asleep() && policy.admits(node, config, class)
+    }
+
+    /// The feasible node with the *highest* `(score, NodeId)` — the
+    /// spreading end of the ranking, byte-identical to
+    /// [`Scheduler::place_linear`] for the reference policy.
+    #[must_use]
+    pub fn best<P: PlacementPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> Option<NodeId> {
+        match self.index {
+            Some(index) => index.ranked_rev().find(|id| {
+                !avoid.contains(id)
+                    && Self::feasible(&self.nodes[id.0 as usize], policy, config, class)
+            }),
+            None => self
+                .nodes
+                .iter()
+                .filter(|n| {
+                    !avoid.contains(&n.id) && Self::feasible(n, policy, config, class)
+                })
+                .map(|n| (policy.scheduler().weigh(n), n.id))
+                .max_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("weights are finite").then_with(|| a.1.cmp(&b.1))
+                })
+                .map(|(_, id)| id),
+        }
+    }
+
+    /// The feasible node with the *lowest* `(score, NodeId)` — the
+    /// packing end of the ranking, served by the same `BTreeSet` walked
+    /// forwards.
+    #[must_use]
+    pub fn worst<P: PlacementPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> Option<NodeId> {
+        match self.index {
+            Some(index) => index.ranked().find(|id| {
+                !avoid.contains(id)
+                    && Self::feasible(&self.nodes[id.0 as usize], policy, config, class)
+            }),
+            None => self
+                .nodes
+                .iter()
+                .filter(|n| {
+                    !avoid.contains(&n.id) && Self::feasible(n, policy, config, class)
+                })
+                .map(|n| (policy.scheduler().weigh(n), n.id))
+                .min_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("weights are finite").then_with(|| a.1.cmp(&b.1))
+                })
+                .map(|(_, id)| id),
+        }
+    }
+
+    /// The best-scored *asleep* node that would admit the request once
+    /// woken — the wake-on-demand candidate.
+    #[must_use]
+    pub fn best_asleep<P: PlacementPolicy + ?Sized>(
+        &self,
+        policy: &P,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> Option<NodeId> {
+        let sleeping_fit = |n: &ManagedNode| {
+            n.is_asleep() && !avoid.contains(&n.id) && policy.admits(n, config, class)
+        };
+        match self.index {
+            Some(index) => index.ranked_rev().find(|id| sleeping_fit(&self.nodes[id.0 as usize])),
+            None => self
+                .nodes
+                .iter()
+                .filter(|n| sleeping_fit(n))
+                .map(|n| (policy.scheduler().weigh(n), n.id))
+                .max_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("weights are finite").then_with(|| a.1.cmp(&b.1))
+                })
+                .map(|(_, id)| id),
+        }
+    }
+}
+
+/// A placement policy: the pluggable brain behind every submit,
+/// re-offer, crash recovery and shed decision the cluster makes.
+///
+/// Implementations are immutable and shared (`Arc<dyn PlacementPolicy>`
+/// in the cluster), so decisions must be pure functions of the view and
+/// the request — any randomness must be a pure function of
+/// `(seed, tick)`.
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
+    /// The policy's canonical name (matches [`PolicyKind::label`]).
+    fn name(&self) -> &'static str;
+
+    /// The weigher whose scores rank the rack (and that the placement
+    /// index caches).
+    fn scheduler(&self) -> &Scheduler;
+
+    /// Request-dependent feasibility of one node, *ignoring* its power
+    /// state (the view applies the sleep gate; the wake path checks
+    /// feasibility of sleeping candidates through this too). The
+    /// default is the reference filter's awake gates.
+    fn admits(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
+        self.scheduler().admits_awake(node, config, class)
+    }
+
+    /// One placement decision. The default is the reference behavior:
+    /// best-first spreading, never waking anyone.
+    fn decide(
+        &self,
+        view: &RackView<'_>,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> PlacementDecision {
+        match view.best(self, config, class, avoid) {
+            Some(id) => PlacementDecision::Place(id),
+            None => PlacementDecision::Reject,
+        }
+    }
+
+    /// Whether prediction-driven proactive migration runs under this
+    /// policy. The blind ablation turns it off — it cannot see the
+    /// predictor's signal by definition.
+    fn proactive_migration(&self) -> bool {
+        true
+    }
+
+    /// Whether the policy runs a periodic management pass. When false
+    /// (the default) the cluster skips [`PlacementPolicy::manage`]
+    /// entirely, keeping the reference path zero-overhead.
+    fn manages(&self) -> bool {
+        false
+    }
+
+    /// The periodic management pass: given the rack view, per-node live
+    /// placement counts and the current tick, return park/drain orders.
+    /// Draws, if any, must be pure in `(seed, tick)`.
+    fn manage(
+        &self,
+        view: &RackView<'_>,
+        occupancy: &[u32],
+        tick: u64,
+        seed: u64,
+    ) -> ManagementPlan {
+        let _ = (view, occupancy, tick, seed);
+        ManagementPlan::default()
+    }
+}
+
+/// The reference policy: the energy/SLA filter + weigher pipeline,
+/// byte-identical to pre-trait placement.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergySlaPolicy {
+    scheduler: Scheduler,
+}
+
+impl EnergySlaPolicy {
+    /// Wraps the configured scheduler.
+    #[must_use]
+    pub fn new(scheduler: Scheduler) -> Self {
+        EnergySlaPolicy { scheduler }
+    }
+}
+
+impl PlacementPolicy for EnergySlaPolicy {
+    fn name(&self) -> &'static str {
+        PolicyKind::EnergySla.label()
+    }
+
+    fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+/// The reliability-blind ablation: weighs with
+/// [`SchedulerWeights::reliability_blind`] and admits through
+/// [`Scheduler::admits_blind`] — no reliability floor, no proactive
+/// migration. Running the matrix with and without this policy prices
+/// the UniServer reliability signal.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityBlindPolicy {
+    scheduler: Scheduler,
+}
+
+impl ReliabilityBlindPolicy {
+    /// The ablation always uses the blind weights; a configured
+    /// scheduler would defeat its purpose.
+    #[must_use]
+    pub fn new() -> Self {
+        ReliabilityBlindPolicy { scheduler: Scheduler::new(SchedulerWeights::reliability_blind()) }
+    }
+}
+
+impl Default for ReliabilityBlindPolicy {
+    fn default() -> Self {
+        ReliabilityBlindPolicy::new()
+    }
+}
+
+impl PlacementPolicy for ReliabilityBlindPolicy {
+    fn name(&self) -> &'static str {
+        PolicyKind::ReliabilityBlind.label()
+    }
+
+    fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    fn admits(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
+        self.scheduler.admits_blind(node, config, class)
+    }
+
+    fn proactive_migration(&self) -> bool {
+        false
+    }
+}
+
+/// Pack-and-power-down consolidation: place onto the fullest feasible
+/// node, periodically park empties (keeping a spare buffer awake) and
+/// drain stragglers whose migrations are cheap, wake sleepers on demand
+/// pressure. Closes the energy-proportionality gap: an idle node burns
+/// a large fraction of peak power, a parked one draws
+/// [`crate::lifecycle::SLEEP_POWER_WATTS`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConsolidatePolicy {
+    scheduler: Scheduler,
+    /// Management pass period, in ticks.
+    pub rebalance_every: u64,
+    /// Empty nodes kept awake as a demand buffer (hysteresis against
+    /// park/wake thrash).
+    pub spare_nodes: usize,
+    /// Nodes drained per management pass — one, so a pass can never
+    /// ping-pong VMs between two draining nodes.
+    pub max_drains_per_pass: usize,
+    /// Only nodes at or below this many placements are drain
+    /// candidates.
+    pub drain_max_placements: u32,
+    /// Per-VM predicted migration-duration budget for drains.
+    pub max_migration_secs: f64,
+}
+
+impl ConsolidatePolicy {
+    /// Production defaults: rebalance every 12 ticks (one minute at 5 s
+    /// ticks), two spares, drain one ≤2-placement node per pass, and
+    /// only move VMs whose predicted pre-copy completes within 10 s.
+    #[must_use]
+    pub fn new(scheduler: Scheduler) -> Self {
+        ConsolidatePolicy {
+            scheduler,
+            rebalance_every: 12,
+            spare_nodes: 2,
+            max_drains_per_pass: 1,
+            drain_max_placements: 2,
+            max_migration_secs: 10.0,
+        }
+    }
+
+    /// Whether parking `node` is safe: every class's wake floors must
+    /// pass *right now*. A sleeping node neither ticks nor re-scores, so
+    /// its reliability and availability freeze at park time — park a
+    /// node mid-dip and it is stranded below the wake floors forever,
+    /// bleeding fleet capacity one node at a time (an awake idle node
+    /// recovers; a parked one cannot). Gold's floors are the strictest,
+    /// so gold-grade metrics keep the parked pool universally wakeable.
+    fn parkable(&self, node: &ManagedNode) -> bool {
+        let m = node.metrics();
+        m.reliability >= SlaClass::Gold.min_reliability()
+            && m.availability >= SlaClass::Gold.min_availability() - 1e-12
+    }
+}
+
+impl PlacementPolicy for ConsolidatePolicy {
+    fn name(&self) -> &'static str {
+        PolicyKind::Consolidate.label()
+    }
+
+    fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The reference gates *plus* the hypervisor's exact launch
+    /// predicate. The coarse capacity filter only checks the relaxed
+    /// domain; a packed node whose *reliable* domain is exhausted still
+    /// passes it, and because packing walks worst-first, that node stays
+    /// the first candidate — a black hole where every launch fails while
+    /// sleepers idle. The precise check drops it from the walk instead.
+    fn admits(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
+        self.scheduler.admits_awake(node, config, class) && node.hypervisor.can_host(config)
+    }
+
+    fn decide(
+        &self,
+        view: &RackView<'_>,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> PlacementDecision {
+        // Pack: the *lowest*-scored awake node that still fits.
+        if let Some(id) = view.worst(self, config, class, avoid) {
+            return PlacementDecision::Place(id);
+        }
+        // Demand pressure: wake the best sleeping candidate.
+        match view.best_asleep(self, config, class, avoid) {
+            Some(id) => PlacementDecision::WakeAndPlace(id),
+            None => PlacementDecision::Reject,
+        }
+    }
+
+    fn manages(&self) -> bool {
+        true
+    }
+
+    fn manage(
+        &self,
+        view: &RackView<'_>,
+        occupancy: &[u32],
+        tick: u64,
+        _seed: u64,
+    ) -> ManagementPlan {
+        if !tick.is_multiple_of(self.rebalance_every) {
+            return ManagementPlan::default();
+        }
+        // Empty awake nodes, best-scored first: the top `spare_nodes`
+        // stay awake as the demand buffer, the rest park. Only
+        // [`ConsolidatePolicy::parkable`] nodes qualify — a degraded
+        // node stays awake to recover instead of freezing below the wake
+        // floors. Scores come from the policy's own weigher so the
+        // selection is identical under indexed and linear placement.
+        let mut empties: Vec<(f64, NodeId)> = view
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.is_online()
+                    && !n.is_asleep()
+                    && occupancy[n.id.0 as usize] == 0
+                    && self.parkable(n)
+            })
+            .map(|n| (self.scheduler.weigh(n), n.id))
+            .collect();
+        empties.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("weights are finite").then_with(|| b.1.cmp(&a.1))
+        });
+        let park: Vec<NodeId> =
+            empties.iter().skip(self.spare_nodes).map(|&(_, id)| id).collect();
+
+        // Drain the lightest straggler (lowest occupancy, then lowest
+        // id) so its handful of VMs join the pack and it can park next.
+        // Draining ends in a park, so the same parkability gate applies.
+        let mut stragglers: Vec<(u32, NodeId)> = view
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.is_online()
+                    && !n.is_asleep()
+                    && (1..=self.drain_max_placements).contains(&occupancy[n.id.0 as usize])
+                    && self.parkable(n)
+            })
+            .map(|n| (occupancy[n.id.0 as usize], n.id))
+            .collect();
+        stragglers.sort_unstable();
+        let drain: Vec<NodeId> =
+            stragglers.iter().take(self.max_drains_per_pass).map(|&(_, id)| id).collect();
+
+        ManagementPlan { park, drain, max_migration_secs: self.max_migration_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::NodePower;
+    use uniserver_platform::part::PartSpec;
+
+    fn nodes(n: usize) -> Vec<ManagedNode> {
+        (0..n)
+            .map(|i| {
+                #[allow(clippy::cast_possible_truncation)]
+                ManagedNode::provision(NodeId(i as u32), PartSpec::arm_microserver(), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_names_parse_and_roundtrip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.build(Scheduler::default()).name(), kind.label());
+        }
+        assert_eq!(PolicyKind::parse("spread"), None);
+        assert_eq!(PolicyKind::parse(""), None);
+        assert_eq!(PolicyKind::default(), PolicyKind::EnergySla);
+    }
+
+    #[test]
+    fn reference_policy_decides_exactly_like_place_linear() {
+        let mut ns = nodes(4);
+        for _ in 0..3 {
+            ns[3].launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        ns[1].reliability = 0.4;
+        let scheduler = Scheduler::default();
+        let policy = EnergySlaPolicy::new(scheduler);
+        let cfg = VmConfig::ldbc_benchmark();
+        for class in [SlaClass::Gold, SlaClass::Silver, SlaClass::Bronze] {
+            let expected = match scheduler.place_linear(ns.iter(), &cfg, class) {
+                Some(id) => PlacementDecision::Place(id),
+                None => PlacementDecision::Reject,
+            };
+            assert_eq!(policy.decide(&RackView::linear(&ns), &cfg, class, &[]), expected);
+        }
+    }
+
+    #[test]
+    fn blind_policy_places_onto_quarantine_worthy_nodes() {
+        // One node, reliability collapsed below even Bronze's 0.3 floor:
+        // the reference policy quarantines it (no placement at any
+        // class); the ablation, blind to the signal, happily uses it.
+        let mut ns = nodes(1);
+        ns[0].reliability = 0.2;
+        let reference = EnergySlaPolicy::new(Scheduler::default());
+        let blind = ReliabilityBlindPolicy::new();
+        let cfg = VmConfig::ldbc_benchmark();
+        let view = RackView::linear(&ns);
+        for class in [SlaClass::Gold, SlaClass::Silver, SlaClass::Bronze] {
+            assert_eq!(
+                reference.decide(&view, &cfg, class, &[]),
+                PlacementDecision::Reject,
+                "the reference policy must quarantine at {class}"
+            );
+            assert_eq!(
+                blind.decide(&view, &cfg, class, &[]),
+                PlacementDecision::Place(NodeId(0)),
+                "the blind ablation must place at {class}"
+            );
+        }
+        assert!(!blind.proactive_migration(), "blind cannot act on predictions");
+    }
+
+    #[test]
+    fn consolidation_packs_where_the_reference_spreads() {
+        let mut ns = nodes(2);
+        ns[0].launch(VmConfig::ldbc_benchmark()).unwrap();
+        let scheduler = Scheduler::default();
+        let cfg = VmConfig::ldbc_benchmark();
+        let view = RackView::linear(&ns);
+        let reference = EnergySlaPolicy::new(scheduler);
+        let pack = ConsolidatePolicy::new(scheduler);
+        assert_eq!(
+            reference.decide(&view, &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::Place(NodeId(1)),
+            "the reference spreads onto the empty node"
+        );
+        assert_eq!(
+            pack.decide(&view, &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::Place(NodeId(0)),
+            "consolidation packs onto the loaded node"
+        );
+    }
+
+    #[test]
+    fn consolidation_wakes_a_sleeper_under_demand_pressure() {
+        let mut ns = nodes(2);
+        // Node 0 is full; node 1 sleeps.
+        for _ in 0..4 {
+            ns[0].launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        ns[1].power = NodePower::Asleep;
+        let pack = ConsolidatePolicy::new(Scheduler::default());
+        let cfg = VmConfig::ldbc_benchmark();
+        assert_eq!(
+            pack.decide(&RackView::linear(&ns), &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::WakeAndPlace(NodeId(1)),
+            "demand pressure must wake the sleeper"
+        );
+        // The reference policy never wakes anyone.
+        let reference = EnergySlaPolicy::new(Scheduler::default());
+        assert_eq!(
+            reference.decide(&RackView::linear(&ns), &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::Reject
+        );
+    }
+
+    #[test]
+    fn consolidation_skips_launch_infeasible_nodes_the_coarse_filter_admits() {
+        use uniserver_hypervisor::hypervisor::{Hypervisor, HypervisorConfig};
+        use uniserver_platform::node::ServerNode;
+        use uniserver_units::Bytes;
+
+        // Node 0's reliable domain exhausts after one guest (inflated
+        // fixed overhead), while its relaxed domain and vCPU budget
+        // still pass the coarse `fits` check. Node 1 sleeps.
+        let mut ns = nodes(2);
+        ns[0].hypervisor = Hypervisor::with_config(
+            ServerNode::new(PartSpec::arm_microserver(), 0),
+            HypervisorConfig { per_vm_fixed: Bytes::gib(9), ..HypervisorConfig::default() },
+        );
+        let cfg = VmConfig::ldbc_benchmark();
+        ns[0].launch(cfg.clone()).unwrap();
+        ns[1].power = NodePower::Asleep;
+        assert!(ns[0].fits(&cfg), "the coarse filter still admits the packed node");
+        assert!(!ns[0].hypervisor.can_host(&cfg), "but a launch there would fail");
+
+        // Without the precise gate, packing would keep returning node 0
+        // — the black hole where every launch fails. With it, demand
+        // pressure falls through to the sleeper.
+        let pack = ConsolidatePolicy::new(Scheduler::default());
+        assert_eq!(
+            pack.decide(&RackView::linear(&ns), &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::WakeAndPlace(NodeId(1)),
+            "consolidation must skip the launch-infeasible node"
+        );
+    }
+
+    #[test]
+    fn degraded_nodes_are_never_parked_or_drained() {
+        // Five empties beyond the spares, but two are mid-reliability-dip:
+        // parking them would freeze the dip forever (asleep nodes are
+        // not re-scored), stranding them below every wake floor. They
+        // must stay awake to recover.
+        let mut ns = nodes(6);
+        ns[0].reliability = 0.25;
+        ns[1].reliability = 0.85; // below Gold's 0.9 wake floor
+        let occupancy = [0, 0, 0, 0, 0, 1];
+        ns[5].launch(VmConfig::ldbc_benchmark()).unwrap();
+        ns[5].reliability = 0.5;
+        let pack = ConsolidatePolicy::new(Scheduler::default());
+        let plan = pack.manage(&RackView::linear(&ns), &occupancy, 0, 7);
+        assert_eq!(
+            plan.park,
+            vec![NodeId(2)],
+            "only healthy empties beyond the two spares may park"
+        );
+        assert!(
+            plan.drain.is_empty(),
+            "a degraded straggler must not be drained into a park"
+        );
+    }
+
+    #[test]
+    fn manage_parks_empties_beyond_the_spares_and_drains_the_lightest() {
+        let mut ns = nodes(6);
+        // Nodes 0..=2 loaded (0 heaviest), 3..=5 empty.
+        for _ in 0..3 {
+            ns[0].launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        for _ in 0..2 {
+            ns[1].launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        ns[2].launch(VmConfig::ldbc_benchmark()).unwrap();
+        let occupancy = [3, 2, 1, 0, 0, 0];
+        let pack = ConsolidatePolicy::new(Scheduler::default());
+        let plan = pack.manage(&RackView::linear(&ns), &occupancy, 0, 42);
+        // Identical empties tie on score; descending (score, id) keeps
+        // the two highest-id spares awake and parks the rest.
+        assert_eq!(plan.park, vec![NodeId(3)]);
+        // The lightest loaded node (node 2, one placement) drains.
+        assert_eq!(plan.drain, vec![NodeId(2)]);
+        assert!(plan.max_migration_secs > 0.0);
+        // Off-period ticks are a no-op.
+        assert_eq!(pack.manage(&RackView::linear(&ns), &occupancy, 5, 42), ManagementPlan::default());
+    }
+}

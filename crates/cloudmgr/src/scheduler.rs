@@ -61,9 +61,30 @@ impl Scheduler {
     }
 
     /// Filter phase: can `node` host `config` at `class`?
+    ///
+    /// Composed from the layered predicates below: a node must be awake
+    /// (not parked in [`crate::lifecycle::NodePower::Asleep`]) and pass
+    /// [`Scheduler::admits_awake`].
     #[must_use]
     pub fn filter(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
-        let m = node.metrics();
+        !node.is_asleep() && self.admits_awake(node, config, class)
+    }
+
+    /// Feasibility for a node assumed awake (or about to be woken): the
+    /// reliability-blind gates plus the class reliability floor. This is
+    /// the predicate a consolidation policy checks against *asleep*
+    /// candidates before spending a wake transition on them.
+    #[must_use]
+    pub fn admits_awake(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
+        self.admits_blind(node, config, class)
+            && node.metrics().reliability >= class.min_reliability()
+    }
+
+    /// The pre-UniServer feasibility gates: capacity, liveness, and the
+    /// availability floor — everything *except* the reliability floor.
+    /// The `reliability_blind()` ablation admits exactly this set.
+    #[must_use]
+    pub fn admits_blind(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
         node.fits(config)
             // The failure lifecycle pulls crashed nodes out of the pool
             // entirely; an offline or rejoining node hosts nothing.
@@ -71,8 +92,7 @@ impl Scheduler {
             && !node.hypervisor.node().is_crashed()
             // Availability gating uses the class requirement directly;
             // fresh nodes (availability 1.0) pass every floor.
-            && m.availability >= class.min_availability() - 1e-12
-            && m.reliability >= class.min_reliability()
+            && node.metrics().availability >= class.min_availability() - 1e-12
     }
 
     /// Weigher phase: the placement score of a feasible node.

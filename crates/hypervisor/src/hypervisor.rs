@@ -238,6 +238,19 @@ impl Hypervisor {
         Ok(id)
     }
 
+    /// Whether [`Hypervisor::launch_vm`] would succeed for `config`
+    /// right now: the guest fits the relaxed domain *and* the
+    /// hypervisor's own per-VM overhead fits the reliable domain.
+    /// Capacity-only filters that check just the relaxed side admit
+    /// nodes whose reliable domain is exhausted; packing policies use
+    /// this exact predicate so a full node drops out of the candidate
+    /// walk instead of failing every launch aimed at it.
+    #[must_use]
+    pub fn can_host(&self, config: &VmConfig) -> bool {
+        self.memory.available(Placement::Relaxed) >= config.memory
+            && self.memory.available(Placement::Reliable) >= self.per_vm_overhead(config)
+    }
+
     /// Stops a VM, releases its memory and drops its record — a
     /// long-running node's per-tick work stays proportional to its
     /// *live* guests, not to every VM it ever hosted. Idempotent:
@@ -536,6 +549,27 @@ mod tests {
 
     fn hypervisor() -> Hypervisor {
         Hypervisor::new(ServerNode::new(PartSpec::arm_microserver(), 42))
+    }
+
+    #[test]
+    fn can_host_predicts_launch_across_both_domains() {
+        // Inflate the fixed per-VM overhead so the *reliable* domain
+        // (16 GiB) exhausts after one guest while the relaxed domain
+        // still has room — the divergence a relaxed-only capacity check
+        // cannot see.
+        let config =
+            HypervisorConfig { per_vm_fixed: Bytes::gib(9), ..HypervisorConfig::default() };
+        let mut hv =
+            Hypervisor::with_config(ServerNode::new(PartSpec::arm_microserver(), 42), config);
+        let guest = VmConfig::ldbc_benchmark();
+        assert!(hv.can_host(&guest));
+        hv.launch_vm(guest.clone()).unwrap();
+        assert!(
+            hv.memory.available(Placement::Relaxed) >= guest.memory,
+            "the relaxed domain must still have room for the second guest"
+        );
+        assert!(!hv.can_host(&guest), "the reliable domain is exhausted");
+        assert!(hv.launch_vm(guest).is_err(), "can_host must mirror launch_vm");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use uniserver_units::Seconds;
 
 use uniserver_cloudmgr::cluster::ClusterConfig;
 use uniserver_cloudmgr::lifecycle::FailureLifecycle;
+use uniserver_cloudmgr::policy::PolicyKind;
 use uniserver_cloudmgr::stream::VmStream;
 use uniserver_core::ecosystem::DeploymentConfig;
 use uniserver_core::optimizer::EopOptimizer;
@@ -121,6 +122,10 @@ pub struct OrchestratorConfig {
     /// Seeded fault campaigns injected on top of the fleet's natural
     /// crashes. `None` (the default) = no chaos.
     pub chaos: Option<ChaosPlan>,
+    /// The placement policy the cluster routes every decision through.
+    /// [`PolicyKind::EnergySla`] (the default) reproduces pre-trait
+    /// behavior byte-for-byte.
+    pub policy: PolicyKind,
 }
 
 impl OrchestratorConfig {
@@ -158,6 +163,7 @@ impl OrchestratorConfig {
             age_months: 18.0,
             lifecycle: FailureLifecycle::disabled(),
             chaos: None,
+            policy: PolicyKind::EnergySla,
         }
     }
 

@@ -169,6 +169,7 @@ pub fn deploy_cluster_on(
     let mut cluster =
         Cluster::from_nodes(managed, config.cluster.scheduler, config.cluster.migration);
     cluster.set_linear_placement(config.linear_placement);
+    cluster.set_policy(config.policy.build(config.cluster.scheduler));
     (cluster, records, deploy_secs, cache)
 }
 

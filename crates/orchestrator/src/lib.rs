@@ -43,9 +43,10 @@ pub use deploy::{deploy_cluster, rejoin_node, DeployedNode};
 pub use events::{Event, EventQueue};
 pub use orchestrator::{compare, run, run_timed, run_with_telemetry};
 pub use summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, StageBreakdown,
-    TickMetrics,
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, PowerOutcome,
+    StageBreakdown, TickMetrics,
 };
 pub use uniserver_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 pub use uniserver_cloudmgr::lifecycle::{FailureLifecycle, NodePhase};
+pub use uniserver_cloudmgr::policy::PolicyKind;
 pub use uniserver_faultinject::chaos::{Campaign, ChaosPlan};

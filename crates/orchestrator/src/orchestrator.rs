@@ -51,13 +51,15 @@ use uniserver_platform::node::CrashEvent;
 use uniserver_telemetry::{Stage, StageProfiler, Telemetry, TraceEvent};
 use uniserver_units::{Celsius, Seconds, Volts};
 
+use uniserver_cloudmgr::policy::PolicyKind;
+
 use crate::config::{MarginPolicy, OrchestratorConfig};
 use crate::deploy::{deploy_cluster_on, rejoin_node};
 use crate::events::EventQueue;
 use crate::serve::{CrashPolicy, RetryQueue, ServeCounters};
 use crate::summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, StageBreakdown,
-    TickMetrics,
+    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, PowerOutcome,
+    StageBreakdown, TickMetrics,
 };
 
 /// Runs one orchestrated scenario.
@@ -178,6 +180,15 @@ pub fn run_with_telemetry(
         };
         tel.add("completed", t_completed);
 
+        // --- 1b. Power management: a consolidating policy parks nodes
+        // the departures just emptied and drains near-empty stragglers
+        // onto the packed end of the rack. A no-op (and free) for
+        // non-managing policies.
+        {
+            let _span = profiler.scoped(Stage::Placement);
+            cluster.manage(tick, config.seed);
+        }
+
         // --- 2a. Queued rejections re-offer first, gold before silver,
         // into whatever capacity the departures just freed. (Empty —
         // and free — under the default drop-all admission policy.)
@@ -291,6 +302,12 @@ pub fn run_with_telemetry(
         let offline = cluster.offline_count();
         c.downtime_secs += step.as_secs() * offline as f64;
         c.peak_offline = c.peak_offline.max(offline as u64);
+        if cluster.policy().manages() {
+            let asleep = cluster.asleep_count();
+            c.asleep_node_secs += step.as_secs() * asleep as f64;
+            c.peak_asleep = c.peak_asleep.max(asleep as u64);
+            tel.observe("nodes_asleep", asleep as u64);
+        }
         tel.observe("live_placements", cluster.placements().len() as u64);
         tel.observe("offline_nodes", offline as u64);
         tel.observe("retry_queue_depth", retry.pending_len() as u64);
@@ -324,6 +341,11 @@ pub fn run_with_telemetry(
         if let Some(m) = &mut tel.metrics {
             m.merge(&shard_metrics);
         }
+    }
+    if cluster.policy().manages() {
+        let power = cluster.power_stats();
+        tel.add("wake_transitions", power.wakes);
+        tel.add("consolidation_migrations", power.consolidation_migrations);
     }
     debug_assert_eq!(
         c.placed,
@@ -406,6 +428,18 @@ pub fn run_with_telemetry(
                 lost_capacity_node_hours: c.downtime_secs / 3600.0,
                 availability: 1.0 - c.downtime_secs / node_secs,
                 shed: c.shed,
+            }
+        }),
+        policy: (config.policy != PolicyKind::EnergySla)
+            .then(|| config.policy.label().to_string()),
+        power: cluster.policy().manages().then(|| {
+            let stats = cluster.power_stats();
+            PowerOutcome {
+                parks: stats.parks,
+                wakes: stats.wakes,
+                consolidation_migrations: stats.consolidation_migrations,
+                asleep_node_secs: c.asleep_node_secs,
+                peak_asleep: c.peak_asleep,
             }
         }),
     };

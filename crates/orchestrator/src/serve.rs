@@ -123,6 +123,10 @@ pub(crate) struct ServeCounters {
     pub downtime_secs: f64,
     /// Peak simultaneously-offline node count.
     pub peak_offline: u64,
+    /// Summed asleep node-seconds (power-managing policies only).
+    pub asleep_node_secs: f64,
+    /// Peak simultaneously-asleep node count.
+    pub peak_asleep: u64,
 }
 
 impl ServeCounters {
@@ -150,6 +154,8 @@ impl ServeCounters {
             rejoins: 0,
             downtime_secs: 0.0,
             peak_offline: 0,
+            asleep_node_secs: 0.0,
+            peak_asleep: 0,
         }
     }
 

@@ -78,6 +78,24 @@ pub struct ChaosOutcome {
     pub shed: u64,
 }
 
+/// What a power-managing placement policy did to one run — `Some` only
+/// when the active policy manages node power (consolidation), so
+/// reference summaries stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerOutcome {
+    /// Times a drained node was parked into the sleep state.
+    pub parks: u64,
+    /// Times an asleep node was woken (demand pressure).
+    pub wakes: u64,
+    /// Live migrations performed by consolidation drains (distinct from
+    /// crash- and prediction-driven migrations).
+    pub consolidation_migrations: u64,
+    /// Summed asleep node-seconds over the run.
+    pub asleep_node_secs: f64,
+    /// Peak simultaneously-asleep node count.
+    pub peak_asleep: u64,
+}
+
 /// Per-part aggregation of the rack.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartUsage {
@@ -160,6 +178,12 @@ pub struct ClusterSummary {
     /// Failure-lifecycle and chaos accounting — `Some` only when the
     /// lifecycle or a chaos plan was active for the run.
     pub chaos: Option<ChaosOutcome>,
+    /// The placement-policy label — `Some` only when the run deviates
+    /// from the default energy/SLA reference policy.
+    pub policy: Option<String>,
+    /// Power-management accounting — `Some` only when the active policy
+    /// manages node power.
+    pub power: Option<PowerOutcome>,
 }
 
 /// Per-phase wall-clock attribution of the serving loop, from the

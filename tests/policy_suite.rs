@@ -1,0 +1,184 @@
+//! Determinism and equivalence contract of the placement-policy suite:
+//! for **every** shipped policy — the energy/SLA reference, packing
+//! consolidation with sleep states, and the reliability-blind ablation —
+//! a run's JSON summary must be byte-identical for any worker count,
+//! and a cluster placing through the incremental `PlacementIndex` must
+//! behave identically to one placing through the linear reference scan
+//! under churn (launches, departures, ticks, crashes, recovery and the
+//! consolidation manage pass).
+
+use proptest::prelude::*;
+
+use uniserver_bench::cluster::summary_to_json;
+use uniserver_cloudmgr::cluster::{Cluster, ClusterConfig};
+use uniserver_cloudmgr::{PolicyKind, SlaClass};
+use uniserver_hypervisor::vm::VmConfig;
+use uniserver_orchestrator::{run_timed, OrchestratorConfig};
+use uniserver_platform::msr::DomainId;
+use uniserver_units::Seconds;
+
+fn class_of(i: u64) -> SlaClass {
+    match i % 3 {
+        0 => SlaClass::Gold,
+        1 => SlaClass::Silver,
+        _ => SlaClass::Bronze,
+    }
+}
+
+/// A mixed-part rack with one node deep in its crash region and one
+/// raining corrected errors, placing through the given policy — the
+/// equivalence must hold under crash events, predictor re-scores and
+/// recovery, not just on clean racks.
+fn policy_rack(nodes: usize, seed: u64, linear: bool, kind: PolicyKind) -> Cluster {
+    let config = ClusterConfig::uniserver_rack(nodes);
+    let mut cluster = Cluster::build(&config, seed);
+    cluster.set_linear_placement(linear);
+    cluster.set_policy(kind.build(config.scheduler));
+    let deep = cluster.nodes()[0].hypervisor.node().part().offset_mv(0.22).min(250.0);
+    cluster.nodes_mut()[0].hypervisor.node_mut().msr.set_voltage_offset_all(deep).unwrap();
+    if nodes > 1 {
+        cluster.nodes_mut()[1]
+            .hypervisor
+            .node_mut()
+            .msr
+            .set_refresh_interval(DomainId(1), Seconds::new(10.0))
+            .unwrap();
+    }
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whole-run byte stability: every policy's JSON summary is a pure
+    /// function of the configuration, whatever the worker count.
+    #[test]
+    fn every_policy_summary_is_byte_identical_for_any_worker_count(
+        seed in 0u64..200,
+        nodes in 4usize..10,
+        workers in 2usize..6,
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut config = OrchestratorConfig::smoke(nodes, seed);
+            config.policy = kind;
+            config.threads = 1;
+            let (sequential, _) = run_timed(&config);
+            config.threads = workers;
+            let (sharded, _) = run_timed(&config);
+            prop_assert_eq!(
+                summary_to_json(&sequential, true),
+                summary_to_json(&sharded, true),
+                "{} diverged between 1 and {} workers", kind.label(), workers
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Index-vs-linear equivalence per policy: the incremental index is
+    /// a pure optimization for every decide path — including the
+    /// consolidation policy's worst-feasible packing, sleep/wake
+    /// transitions and the periodic manage pass.
+    #[test]
+    fn indexed_placement_equals_linear_scan_for_every_policy(
+        seed in 0u64..500,
+        nodes in 2usize..8,
+        arrivals_per_round in 1u64..4,
+        workers in 1usize..5,
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut indexed = policy_rack(nodes, seed, false, kind);
+            let mut linear = policy_rack(nodes, seed, true, kind);
+
+            let mut submitted = 0u64;
+            for round in 0..40u64 {
+                for _ in 0..arrivals_per_round {
+                    let class = class_of(submitted);
+                    let a = indexed.submit(VmConfig::idle_guest(), class);
+                    let b = linear.submit(VmConfig::idle_guest(), class);
+                    prop_assert_eq!(
+                        &a, &b,
+                        "{} submit diverged at round {}", kind.label(), round
+                    );
+                    submitted += 1;
+                }
+                if round % 3 == 2 {
+                    if let Some(p) = linear.placements().first().cloned() {
+                        prop_assert_eq!(
+                            indexed.terminate_by_id(p.id),
+                            linear.terminate_by_id(p.id),
+                            "{} terminate diverged at round {}", kind.label(), round
+                        );
+                    }
+                }
+                // The manage pass: parks, wakes and consolidation
+                // drains must route identically through both paths (a
+                // free no-op for the non-managing policies).
+                indexed.manage(round, seed);
+                linear.manage(round, seed);
+                prop_assert_eq!(
+                    indexed.power_stats(),
+                    linear.power_stats(),
+                    "{} power accounting diverged at round {}", kind.label(), round
+                );
+
+                let ra = indexed.tick_sharded(Seconds::new(2.0), workers);
+                let rb = linear.tick(Seconds::new(2.0));
+                prop_assert_eq!(&ra, &rb, "{} tick diverged at round {}", kind.label(), round);
+                let mut recovered = Vec::new();
+                for (node, _) in &ra.crashes {
+                    if !recovered.contains(node) {
+                        recovered.push(*node);
+                        let xa = indexed.recover_from_crash(*node);
+                        let xb = linear.recover_from_crash(*node);
+                        prop_assert_eq!(
+                            &xa.migrated, &xb.migrated,
+                            "{} recovery diverged at round {}", kind.label(), round
+                        );
+                        prop_assert_eq!(
+                            &xa.evicted, &xb.evicted,
+                            "{} evictions diverged at round {}", kind.label(), round
+                        );
+                    }
+                }
+                prop_assert_eq!(
+                    indexed.placements(),
+                    linear.placements(),
+                    "{} placements diverged at round {}", kind.label(), round
+                );
+                prop_assert_eq!(
+                    indexed.asleep_count(),
+                    linear.asleep_count(),
+                    "{} sleep states diverged at round {}", kind.label(), round
+                );
+                prop_assert_eq!(
+                    indexed.fleet_metrics(),
+                    linear.fleet_metrics(),
+                    "{} fleet metrics diverged at round {}", kind.label(), round
+                );
+            }
+            prop_assert!(submitted > 0);
+        }
+    }
+}
+
+/// Pinned regression for the ablation (the quarantine-worthy-node case
+/// at whole-run scale): the blind policy must place *more* and crash
+/// *no less* than the reference on the same degraded scenario — it
+/// cannot see the predictor signal the reference filters on.
+#[test]
+fn blind_runs_differ_from_the_reference_on_the_same_seed() {
+    let mut config = OrchestratorConfig::smoke(6, 2018);
+    let (reference, _) = run_timed(&config);
+    config.policy = PolicyKind::ReliabilityBlind;
+    let (blind, _) = run_timed(&config);
+    assert_eq!(reference.offered, blind.offered, "the policy must not change the stream");
+    assert!(
+        summary_to_json(&reference, false) != summary_to_json(&blind, false),
+        "ignoring reliability must change the run"
+    );
+    assert_eq!(blind.policy.as_deref(), Some("reliability-blind"));
+    assert!(blind.power.is_none(), "the ablation manages no power");
+}
