@@ -18,7 +18,7 @@
 //!           [--mixed] [--baseline] [--bench PATH] [--label NAME]
 //!           [--no-per-node]
 //! fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT]
-//!           [--threads K] [--nominal] [--profile flat|flash|chaos]
+//!           [--threads K] [--nominal] [--profile flat|flash|chaos|gray]
 //!           [--policy energy-sla|consolidate|reliability-blind]
 //!           [--place linear|indexed] [--bench PATH] [--label NAME]
 //!           [--no-per-tick] [--per-tick-every N]
@@ -41,8 +41,13 @@
 //!   and the seeded rack-and-flash fault campaigns on top of the flash
 //!   profile: crashed nodes go offline for seeded MTTR windows, rejoin
 //!   through re-characterization, and the summary reports downtime,
-//!   lost capacity and availability. `--profile flat` is the default
-//!   and reproduces the legacy stream byte-for-byte.
+//!   lost capacity and availability. `--profile gray` runs the
+//!   gray-failure scenario: a seeded trickle of silent degradations
+//!   (capacity capped, CE rate elevated, no crash), the orchestrator's
+//!   probe watchdog quarantining, draining and readmitting suspects on
+//!   K-of-N hysteresis, and a fleet-wide power cap over the back half
+//!   of the run (the summary grows a `gray` object). `--profile flat`
+//!   is the default and reproduces the legacy stream byte-for-byte.
 //! * `--policy` (cluster mode) selects the placement policy the rack
 //!   routes every decision through. `energy-sla` is the reference
 //!   energy/SLA scorer and reproduces the default stdout byte-for-byte;
@@ -101,6 +106,9 @@ enum Profile {
     Flash,
     /// Flash crowd plus the failure lifecycle and fault campaigns.
     Chaos,
+    /// Flash crowd plus gray failures, the health watchdog and a
+    /// brownout power cap.
+    Gray,
 }
 
 struct Args {
@@ -187,9 +195,10 @@ fn parse(mut argv: std::env::Args) -> Result<Args, String> {
                     "flash" => Profile::Flash,
                     "flat" => Profile::Flat,
                     "chaos" => Profile::Chaos,
+                    "gray" => Profile::Gray,
                     other => {
                         return Err(format!(
-                            "--profile must be flat, flash or chaos, got '{other}'"
+                            "--profile must be flat, flash, chaos or gray, got '{other}'"
                         ))
                     }
                 });
@@ -284,7 +293,7 @@ fn usage() {
         "usage: fleet_sim [--nodes N] [--seed S] [--secs T] [--threads K] \
          [--mixed] [--baseline] [--bench PATH] [--label NAME] [--no-per-node]\n\
          \x20      fleet_sim --cluster [--nodes N] [--seed S] [--secs T] [--tick DT] \
-         [--threads K] [--nominal] [--profile flat|flash|chaos] \
+         [--threads K] [--nominal] [--profile flat|flash|chaos|gray] \
          [--policy energy-sla|consolidate|reliability-blind] [--place linear|indexed] \
          [--bench PATH] [--label NAME] [--no-per-tick] [--per-tick-every N] \
          [--trace-out PATH] [--metrics-out PATH]"
@@ -311,6 +320,7 @@ fn run_cluster(args: Args) -> ExitCode {
         Profile::Flat => OrchestratorConfig::datacenter(nodes, args.seed),
         Profile::Flash => OrchestratorConfig::flash_crowd(nodes, args.seed),
         Profile::Chaos => OrchestratorConfig::chaos_profile(nodes, args.seed),
+        Profile::Gray => OrchestratorConfig::gray_profile(nodes, args.seed),
     };
     if let Some(secs) = args.secs {
         config.horizon = Seconds::new(secs);
@@ -318,11 +328,25 @@ fn run_cluster(args: Args) -> ExitCode {
     if let Some(tick) = args.tick {
         config.tick = Seconds::new(tick);
     }
-    if profile == Profile::Chaos && (args.secs.is_some() || args.tick.is_some()) {
+    if args.secs.is_some() || args.tick.is_some() {
         // The fault campaigns anchor to tick fractions of the horizon:
-        // re-derive the plan so the rack and cooling failures land
-        // inside whatever span was actually requested.
-        config.chaos = Some(uniserver_orchestrator::ChaosPlan::rack_and_flash(config.ticks()));
+        // re-derive the plan so the rack, cooling and brownout windows
+        // land inside whatever span was actually requested.
+        match profile {
+            Profile::Chaos => {
+                config.chaos =
+                    Some(uniserver_orchestrator::ChaosPlan::rack_and_flash(config.ticks()));
+            }
+            Profile::Gray => {
+                #[allow(clippy::cast_possible_truncation)]
+                let fleet_width = nodes as u32;
+                config.chaos = Some(uniserver_orchestrator::ChaosPlan::gray_brownout(
+                    config.ticks(),
+                    fleet_width,
+                ));
+            }
+            Profile::Flat | Profile::Flash => {}
+        }
     }
     config.threads = args.threads;
     config.linear_placement = args.linear_place.unwrap_or(false);
@@ -393,6 +417,7 @@ fn run_cluster(args: Args) -> ExitCode {
                 Profile::Flat => "",
                 Profile::Flash => "-flash",
                 Profile::Chaos => "-chaos",
+                Profile::Gray => "-gray",
             };
             // The reference policy keeps the legacy label; deviations
             // tag themselves so a BENCH_policy.json matrix reads as one.

@@ -83,6 +83,19 @@ pub fn summary_to_json(s: &ClusterSummary, per_tick: bool) -> String {
             o.field_u64("peak_asleep", power.peak_asleep);
         });
     }
+    if let Some(gray) = &s.gray {
+        w.field_object("gray", |o| {
+            o.field_u64("gray_onsets", gray.gray_onsets);
+            o.field_u64("probe_failures", gray.probe_failures);
+            o.field_u64("quarantines", gray.quarantines);
+            o.field_u64("readmissions", gray.readmissions);
+            o.field_f64("degraded_node_secs", gray.degraded_node_secs);
+            o.field_f64("degraded_node_hours", gray.degraded_node_hours);
+            o.field_u64("peak_degraded", gray.peak_degraded);
+            o.field_f64("powercap_deficit_watt_secs", gray.powercap_deficit_watt_secs);
+            o.field_u64("powercap_sheds", gray.powercap_sheds);
+        });
+    }
     w.field_array("per_part", s.per_part.iter(), |part, out| {
         let mut pw = JsonWriter::object();
         pw.field_str("part", &part.part);
@@ -143,6 +156,10 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
     }
     w.field_f64("energy_j", s.energy_j);
     w.field_u64("crashes", s.crashes);
+    // Carried so a BENCH_policy.json matrix shows who hauls VMs around
+    // and who pays for it without re-parsing the stdout summary.
+    w.field_u64("proactive_migrations", s.proactive_migrations);
+    w.field_u64("sla_violations", s.sla_violations);
     w.field_u64("offered", s.offered);
     w.field_u64("placed", s.placed);
     w.field_u64("retried", s.retried);
@@ -180,6 +197,21 @@ pub fn bench_record(s: &ClusterSummary, t: &OrchestratorTiming, label: &str) -> 
             o.field_u64("consolidation_migrations", power.consolidation_migrations);
             o.field_f64("asleep_node_secs", power.asleep_node_secs);
             o.field_u64("peak_asleep", power.peak_asleep);
+        });
+    }
+    // Gray-failure accounting rides along only when the plan carried a
+    // gray or power-cap campaign — same gating as the summary object.
+    if let Some(gray) = &s.gray {
+        w.field_object("gray", |o| {
+            o.field_u64("gray_onsets", gray.gray_onsets);
+            o.field_u64("probe_failures", gray.probe_failures);
+            o.field_u64("quarantines", gray.quarantines);
+            o.field_u64("readmissions", gray.readmissions);
+            o.field_f64("degraded_node_secs", gray.degraded_node_secs);
+            o.field_f64("degraded_node_hours", gray.degraded_node_hours);
+            o.field_u64("peak_degraded", gray.peak_degraded);
+            o.field_f64("powercap_deficit_watt_secs", gray.powercap_deficit_watt_secs);
+            o.field_u64("powercap_sheds", gray.powercap_sheds);
         });
     }
     w.field_u64("nodes", t.nodes as u64);
@@ -235,6 +267,8 @@ mod tests {
             "\"margins\":\"extended\"",
             "\"energy_j\":",
             "\"crashes\":",
+            "\"proactive_migrations\":",
+            "\"sla_violations\":",
             "\"offered\":",
             "\"retried\":",
             "\"abandoned\":",
@@ -255,6 +289,7 @@ mod tests {
         assert!(!json.contains("\"chaos\":"), "legacy rows must not grow a chaos object");
         assert!(!json.contains("\"policy\":"), "the reference policy rides unlabeled");
         assert!(!json.contains("\"power\":"), "non-managing rows must not grow a power object");
+        assert!(!json.contains("\"gray\":"), "gray-free rows must not grow a gray object");
     }
 
     #[test]
@@ -322,5 +357,39 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"expired_at_horizon\":"));
+        assert!(
+            !json.contains("\"gray\":"),
+            "a crash-only plan must not grow a gray object"
+        );
+    }
+
+    #[test]
+    fn gray_outcomes_render_only_under_a_gray_plan() {
+        use uniserver_orchestrator::ChaosPlan;
+
+        let mut config = OrchestratorConfig::gray_profile(4, 5);
+        config.horizon = uniserver_units::Seconds::new(600.0);
+        config.chaos = Some(ChaosPlan::gray_brownout(config.ticks(), 4));
+        let (summary, timing) = run_timed(&config);
+        assert!(summary.gray.is_some());
+        let record = bench_record(&summary, &timing, "gray");
+        let json = summary_to_json(&summary, false);
+        for key in [
+            "\"gray\":{\"gray_onsets\":",
+            "\"probe_failures\":",
+            "\"quarantines\":",
+            "\"readmissions\":",
+            "\"degraded_node_secs\":",
+            "\"degraded_node_hours\":",
+            "\"peak_degraded\":",
+            "\"powercap_deficit_watt_secs\":",
+            "\"powercap_sheds\":",
+        ] {
+            assert!(record.contains(key), "missing {key} in {record}");
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The gray profile also runs the lifecycle, so the chaos object
+        // rides alongside — gray after power after chaos, fixed order.
+        assert!(json.contains("\"chaos\":{"));
     }
 }

@@ -40,6 +40,7 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         &["--profile", "flash"][..],
         &["--profile", "flat"][..],
         &["--profile", "chaos"][..],
+        &["--profile", "gray"][..],
         &["--cluster", "--profile"][..],
         &["--cluster", "--profile", "bogus"][..],
         &["--policy", "consolidate"][..],
@@ -60,6 +61,26 @@ fn flag_value_and_mode_mismatches_exit_nonzero() {
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("error:"), "{args:?} stderr: {stderr}");
     }
+}
+
+#[test]
+fn unknown_profile_and_policy_errors_list_the_valid_names() {
+    // An operator who typos a name should not have to open the source
+    // to learn the valid set: the error must enumerate it.
+    let out = fleet_sim(&["--cluster", "--profile", "bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--profile must be flat, flash, chaos or gray, got 'bogus'"),
+        "profile error must list the valid names: {stderr}"
+    );
+    let out = fleet_sim(&["--cluster", "--policy", "bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--policy must be energy-sla, consolidate or reliability-blind, got 'bogus'"),
+        "policy error must list the valid names: {stderr}"
+    );
 }
 
 #[test]
@@ -121,6 +142,29 @@ fn chaos_profile_is_byte_stable_and_reports_the_outcome() {
     let json = String::from_utf8_lossy(&one.stdout);
     assert!(json.contains("\"chaos\":{\"injected_crashes\":"), "chaos outcome missing: {json}");
     for key in ["\"nodes_offlined\":", "\"downtime_secs\":", "\"availability\":", "\"shed\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn gray_profile_is_byte_stable_and_reports_the_outcome() {
+    let base = &["--cluster", "--profile", "gray", "--nodes", "8", "--secs", "300", "--seed", "7"];
+    let one = fleet_sim(&[base, &["--threads", "1"][..]].concat());
+    assert!(one.status.success(), "stderr: {}", String::from_utf8_lossy(&one.stderr));
+    let four = fleet_sim(&[base, &["--threads", "4"][..]].concat());
+    assert!(four.status.success());
+    assert_eq!(one.stdout, four.stdout, "gray summaries must be byte-identical");
+    let json = String::from_utf8_lossy(&one.stdout);
+    assert!(json.contains("\"gray\":{\"gray_onsets\":"), "gray outcome missing: {json}");
+    for key in [
+        "\"probe_failures\":",
+        "\"quarantines\":",
+        "\"readmissions\":",
+        "\"degraded_node_secs\":",
+        "\"peak_degraded\":",
+        "\"powercap_deficit_watt_secs\":",
+        "\"powercap_sheds\":",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
 }

@@ -30,7 +30,7 @@ use uniserver_silicon::rng::{salt, splitmix64, weighted_pick};
 
 use crate::failure::{FailurePredictor, ScoreUpdate};
 use crate::index::PlacementIndex;
-use crate::lifecycle::{NodePhase, NodePower};
+use crate::lifecycle::{GrayState, NodePhase, NodePower};
 use crate::migrate::MigrationModel;
 use crate::node::{ManagedNode, NodeId};
 use crate::policy::{EnergySlaPolicy, PlacementDecision, PlacementPolicy, RackView};
@@ -554,6 +554,13 @@ impl Cluster {
         if !self.policy.manages() {
             return;
         }
+        // The sleeper slow clock, on the policy's cadence: parked nodes
+        // age their error evidence out so a mid-dip park recovers.
+        if let Some(every) = self.policy.sleeper_rescore_every() {
+            if every > 0 && tick > 0 && tick.is_multiple_of(every) {
+                self.rescore_sleepers();
+            }
+        }
         let policy = Arc::clone(&self.policy);
         let mut occupancy = vec![0u32; self.nodes.len()];
         for p in &self.placements {
@@ -572,6 +579,29 @@ impl Cluster {
         }
         for &id in &plan.drain {
             self.drain_node(id, &plan);
+        }
+    }
+
+    /// Re-runs the failure predictor over every asleep node — the slow
+    /// clock behind recoverable parks. A sleeping node's hypervisor log
+    /// is frozen, so each visit is a no-new-lines observation and the
+    /// predictor's silent decay ages the rolling error score down
+    /// exactly as it would were the node awake and idle: a node parked
+    /// mid-reliability-dip recovers towards 1.0 while it sleeps instead
+    /// of freezing below the wake floors forever. Sequential, in
+    /// node-index order, so runs are worker-count invariant.
+    fn rescore_sleepers(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].is_asleep() {
+                continue;
+            }
+            let id = self.nodes[i].id;
+            let update = self.predictor.observe(id.0, self.nodes[i].hypervisor.health());
+            let reliability = self.predictor.apply(id.0, update);
+            if reliability != self.nodes[i].reliability {
+                self.nodes[i].reliability = reliability;
+                self.index.mark(id);
+            }
         }
     }
 
@@ -1096,6 +1126,112 @@ impl Cluster {
         self.index.mark(id);
     }
 
+    // --- Gray-failure transitions: silent onset, watchdog-driven
+    // quarantine, and the clear back to full health. Like the crash
+    // lifecycle, every phase change marks the index.
+
+    /// Marks an online node as serving gray: capacity capped, CE rate
+    /// multiplied, still in the pool. Gray onset is silent — the node
+    /// keeps ticking and holding placements; only the watchdog's probes
+    /// can tell it from a healthy one. Asleep nodes never degrade (they
+    /// are frozen, not serving).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the node is awake and in [`NodePhase::Online`].
+    pub fn mark_degraded(&mut self, id: NodeId, gray: GrayState) {
+        let node = self.node_mut(id);
+        assert_eq!(node.phase, NodePhase::Online, "only healthy online nodes degrade");
+        assert!(!node.is_asleep(), "{id} is asleep — frozen nodes cannot degrade");
+        node.phase = NodePhase::Degraded { gray };
+        self.index.mark(id);
+    }
+
+    /// Sets or clears the watchdog's quarantine marker on a degraded
+    /// node. Quarantined nodes keep ticking (their fault clock and
+    /// probes must keep running) but are excluded from every placement
+    /// path, including the reliability-blind gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not degraded.
+    pub fn set_quarantined(&mut self, id: NodeId, quarantined: bool) {
+        let node = self.node_mut(id);
+        match node.phase {
+            NodePhase::Degraded { mut gray } => {
+                gray.quarantined = quarantined;
+                node.phase = NodePhase::Degraded { gray };
+            }
+            phase => panic!("{id} is not degraded (phase {phase:?})"),
+        }
+        self.index.mark(id);
+    }
+
+    /// Returns a degraded node to full health: the underlying fault
+    /// cleared (or probation ended in readmission), so the capacity cap
+    /// and CE multiplier lift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not degraded.
+    pub fn clear_degraded(&mut self, id: NodeId) {
+        let node = self.node_mut(id);
+        assert!(node.is_degraded(), "{id} is not degraded");
+        node.phase = NodePhase::Online;
+        self.index.mark(id);
+    }
+
+    /// Nodes currently serving gray.
+    #[must_use]
+    pub fn degraded_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_degraded()).count()
+    }
+
+    /// Migrates up to `budget` placements off a (typically quarantined)
+    /// degraded node, Gold first, with pre-copy semantics: the source
+    /// copy keeps running until the target launch succeeds, so a failed
+    /// placement leaves the VM where it is — a watchdog drain never
+    /// evicts anyone, it just takes another bite next tick. Returns the
+    /// number of placements actually moved.
+    ///
+    /// Unlike the crash path these moves are not a response to lost
+    /// capacity, so they count as proactive migrations (and accrue
+    /// pre-copy downtime), not as SLA violations.
+    pub fn drain_degraded(&mut self, source: NodeId, budget: usize) -> u64 {
+        let mut victims: Vec<Placement> =
+            self.placements.iter().filter(|p| p.node == source).cloned().collect();
+        // Gold first: the strictest SLA gets off the sick node before
+        // the budget runs out. The sort is stable, so same-class
+        // victims keep their (deterministic) placement order.
+        victims.sort_by_key(|p| p.class);
+        victims.truncate(budget);
+        let mut moved = 0u64;
+        for victim in victims {
+            let (config, cost) = {
+                let Some(vm) = self.node_ref(source).hypervisor.vm(victim.vm) else { continue };
+                if !vm.is_running() {
+                    continue;
+                }
+                (vm.config.clone(), self.migration.cost(vm))
+            };
+            let Some(target) = self.place_no_wake(&config, victim.class, source) else { continue };
+            let Ok(new_vm) = self.node_mut(target).launch(config) else { continue };
+            self.index.mark(target);
+            self.node_mut(source).hypervisor.stop_vm(victim.vm);
+            self.index.mark(source);
+            let slot = self
+                .placements
+                .iter_mut()
+                .find(|p| p.id == victim.id)
+                .expect("victim is tracked");
+            *slot = Placement { id: victim.id, node: target, vm: new_vm, class: victim.class };
+            self.migrations += 1;
+            self.migration_downtime = self.migration_downtime + cost.downtime;
+            moved += 1;
+        }
+        moved
+    }
+
     fn node_mut(&mut self, id: NodeId) -> &mut ManagedNode {
         self.nodes.iter_mut().find(|n| n.id == id).expect("node ids are dense")
     }
@@ -1590,6 +1726,156 @@ mod tests {
         assert!(
             cluster.fleet_metrics().migration_downtime.as_secs() > 0.0,
             "consolidation moves pay real blackout"
+        );
+    }
+
+    #[test]
+    fn gray_transitions_keep_the_node_in_the_pool_until_quarantine() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+        let gray = GrayState {
+            capacity_cap: 0.5,
+            ce_multiplier: 2.0,
+            clears_at_tick: 10,
+            quarantined: false,
+        };
+        cluster.mark_degraded(NodeId(1), gray);
+        assert!(cluster.nodes()[1].is_degraded());
+        assert_eq!(cluster.degraded_count(), 1);
+        assert_eq!(cluster.offline_count(), 0, "gray nodes stay in the pool");
+        // Degraded but not quarantined: the filter still admits it at
+        // Bronze (effective reliability 0.5 clears the 0.3 floor) but
+        // the halved reliability fails the premium floors.
+        let s = Scheduler::default();
+        let cfg = VmConfig::idle_guest();
+        assert!(s.filter(&cluster.nodes()[1], &cfg, SlaClass::Bronze));
+        assert!(!s.filter(&cluster.nodes()[1], &cfg, SlaClass::Gold));
+        cluster.set_quarantined(NodeId(1), true);
+        assert!(
+            !s.filter(&cluster.nodes()[1], &cfg, SlaClass::Bronze),
+            "quarantine closes even the Bronze gate"
+        );
+        assert!(cluster.nodes()[1].is_quarantined());
+        // Quarantined: every placement routes to node 0, even classes
+        // the blind gates would admit.
+        for _ in 0..3 {
+            let p = cluster.submit(VmConfig::idle_guest(), SlaClass::Bronze).expect("placed");
+            assert_eq!(p.node, NodeId(0), "quarantined nodes take nothing");
+        }
+        cluster.set_quarantined(NodeId(1), false);
+        assert!(!cluster.nodes()[1].is_quarantined());
+        cluster.clear_degraded(NodeId(1));
+        assert_eq!(cluster.phase(NodeId(1)), NodePhase::Online);
+        assert_eq!(cluster.degraded_count(), 0);
+        assert_eq!(cluster.nodes()[1].metrics().reliability, 1.0, "the cap and multiplier lift");
+    }
+
+    #[test]
+    fn drain_degraded_moves_gold_first_within_budget_and_never_evicts() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(2), 100);
+        // Fill node 1 with a bronze, a gold and a silver guest — launch
+        // order deliberately puts gold in the middle.
+        let mut on_node_1 = Vec::new();
+        for class in [SlaClass::Bronze, SlaClass::Gold, SlaClass::Silver] {
+            loop {
+                let p = cluster.submit(VmConfig::idle_guest(), class).expect("fits");
+                if p.node == NodeId(1) {
+                    on_node_1.push(p);
+                    break;
+                }
+            }
+        }
+        let before = cluster.fleet_metrics();
+        cluster.mark_degraded(
+            NodeId(1),
+            GrayState { capacity_cap: 0.5, ce_multiplier: 2.0, clears_at_tick: 50, quarantined: false },
+        );
+        cluster.set_quarantined(NodeId(1), true);
+        // Budget 2: the gold and silver guests move, bronze waits.
+        let moved = cluster.drain_degraded(NodeId(1), 2);
+        assert_eq!(moved, 2);
+        let left: Vec<SlaClass> =
+            cluster.placements_on(NodeId(1)).iter().map(|p| p.class).collect();
+        assert_eq!(left, vec![SlaClass::Bronze], "gold and silver drain first");
+        let after = cluster.fleet_metrics();
+        assert_eq!(after.migrations, before.migrations + 2, "drains are proactive migrations");
+        assert_eq!(after.evictions, before.evictions, "a watchdog drain never evicts");
+        assert!(after.migration_downtime > before.migration_downtime);
+        // Next bite finishes the node.
+        assert_eq!(cluster.drain_degraded(NodeId(1), 8), 1);
+        assert!(cluster.placements_on(NodeId(1)).is_empty());
+        assert_eq!(cluster.drain_degraded(NodeId(1), 8), 0, "an empty node drains to zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "only healthy online nodes degrade")]
+    fn offline_nodes_cannot_degrade() {
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(1), 100);
+        cluster.mark_crashed(NodeId(0));
+        let gray = GrayState {
+            capacity_cap: 0.5,
+            ce_multiplier: 2.0,
+            clears_at_tick: 1,
+            quarantined: false,
+        };
+        cluster.mark_degraded(NodeId(0), gray);
+    }
+
+    #[test]
+    fn parked_mid_dip_nodes_recover_on_the_sleeper_slow_clock() {
+        use crate::policy::ConsolidatePolicy;
+
+        let mut cluster = Cluster::build(&ClusterConfig::small_edge_site(3), 100);
+        cluster.set_policy(Arc::new(ConsolidatePolicy::new(Scheduler::default())));
+        // Pack two bronze guests onto node 0 and make its DRAM noisy so
+        // the predictor's rolling error score climbs for real (bronze
+        // placements are never proactively migrated, so they stay put).
+        let placed: Vec<Placement> = (0..2)
+            .map(|_| {
+                cluster.submit(VmConfig::ldbc_benchmark(), SlaClass::Bronze).expect("placed")
+            })
+            .collect();
+        assert!(placed.iter().all(|p| p.node == NodeId(0)), "consolidation packs onto node 0");
+        cluster.nodes_mut()[0]
+            .hypervisor
+            .node_mut()
+            .msr
+            .set_refresh_interval(DomainId(1), Seconds::new(10.0))
+            .unwrap();
+        for _ in 0..200 {
+            cluster.tick(Seconds::new(2.0));
+            if cluster.nodes()[0].reliability < 0.7 {
+                break;
+            }
+        }
+        let dipped = cluster.nodes()[0].reliability;
+        assert!(dipped < 0.7, "the noisy domain must dip reliability, got {dipped}");
+        // Park the node mid-dip (the relaxed parkability gate allows
+        // exactly this) and drive only the management slow clock.
+        for p in placed {
+            cluster.terminate_by_id(p.id);
+        }
+        cluster.park_node(NodeId(0));
+        let mut last = dipped;
+        let mut recovered_at = None;
+        for k in 1..=400u64 {
+            cluster.manage(60 * k, 42);
+            let r = cluster.nodes()[0].reliability;
+            assert!(r >= last, "slow-clock re-scores must never worsen a frozen log: {r} < {last}");
+            last = r;
+            if r >= 0.9 {
+                recovered_at = Some(k);
+                break;
+            }
+        }
+        let k = recovered_at.expect("a parked dip must age out on the slow clock");
+        assert!(k > 1, "recovery takes multiple decay visits, not one jump");
+        assert!(cluster.nodes()[0].is_asleep(), "the node recovered *while* asleep");
+        // Awake again, the recovered node clears the strictest wake
+        // floor and can serve premium placements.
+        cluster.wake_node(NodeId(0));
+        assert!(
+            cluster.nodes()[0].reliability >= SlaClass::Gold.min_reliability(),
+            "a recovered sleeper must clear Gold's floor"
         );
     }
 

@@ -21,11 +21,42 @@ use uniserver_silicon::rng::{salt, splitmix64};
 
 use crate::node::NodeId;
 
+/// Gray-failure state riding on a [`NodePhase::Degraded`] node: the
+/// throttle and error-rate parameters drawn at onset, when the
+/// underlying fault clears, and whether the health watchdog has
+/// quarantined the node in the meantime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrayState {
+    /// Usable fraction of nominal vCPU capacity while degraded,
+    /// `(0, 1]` — the thermal-throttle cap honored by
+    /// [`crate::node::ManagedNode::fits`].
+    pub capacity_cap: f64,
+    /// CE-rate multiplier while the fault is active: the node's
+    /// effective reliability is divided by it, so schedulers and the
+    /// failure predictor see the elevated error rate honestly.
+    pub ce_multiplier: f64,
+    /// The tick at which the underlying fault clears (exclusive) —
+    /// probes keep failing until then.
+    pub clears_at_tick: u64,
+    /// True once the watchdog has quarantined the node: drained,
+    /// excluded from placement, EOP backed off to nominal, pending
+    /// probation and readmission.
+    pub quarantined: bool,
+}
+
 /// Where a managed node is in its failure lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum NodePhase {
     /// Serving: ticked, placeable, consuming energy.
     Online,
+    /// Serving *gray*: still ticking, still holding placements, but at
+    /// throttled capacity and an elevated correctable-error rate. Only
+    /// the health watchdog's probes distinguish a degraded node from a
+    /// healthy one; the node itself never reports the fault.
+    Degraded {
+        /// The onset parameters and quarantine marker.
+        gray: GrayState,
+    },
     /// A crash was observed this tick; evacuation is in progress. The
     /// phase is transient — recovery moves the node to `Offline` before
     /// the tick ends.
@@ -41,11 +72,19 @@ pub enum NodePhase {
 }
 
 impl NodePhase {
-    /// Whether the node is serving (only `Online` nodes tick, hold
-    /// placements, or pass the scheduler filter).
+    /// Whether the node is serving (only `Online` and `Degraded` nodes
+    /// tick, hold placements, or pass the scheduler filter — a gray
+    /// node keeps serving at throttled capacity, which is the whole
+    /// point of the failure mode).
     #[must_use]
     pub fn is_online(self) -> bool {
-        matches!(self, NodePhase::Online)
+        matches!(self, NodePhase::Online | NodePhase::Degraded { .. })
+    }
+
+    /// Whether the node is serving gray.
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        matches!(self, NodePhase::Degraded { .. })
     }
 }
 
@@ -184,10 +223,23 @@ mod tests {
     #[test]
     fn phases_classify_online() {
         assert!(NodePhase::Online.is_online());
+        let gray = GrayState {
+            capacity_cap: 0.5,
+            ce_multiplier: 8.0,
+            clears_at_tick: 40,
+            quarantined: false,
+        };
+        assert!(
+            NodePhase::Degraded { gray }.is_online(),
+            "gray nodes keep serving — degraded is not offline"
+        );
+        assert!(NodePhase::Degraded { gray }.is_degraded());
+        assert!(!NodePhase::Online.is_degraded());
         for phase in
             [NodePhase::Crashed, NodePhase::Offline { remaining_ticks: 3 }, NodePhase::Rejoining]
         {
             assert!(!phase.is_online());
+            assert!(!phase.is_degraded());
         }
     }
 

@@ -12,7 +12,7 @@ use uniserver_hypervisor::vm::{VmConfig, VmId};
 use uniserver_platform::node::ServerNode;
 use uniserver_platform::part::PartSpec;
 
-use crate::lifecycle::{NodePhase, NodePower, SLEEP_POWER_WATTS};
+use crate::lifecycle::{GrayState, NodePhase, NodePower, SLEEP_POWER_WATTS};
 
 /// Identifier of a node within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -106,6 +106,43 @@ impl ManagedNode {
         self.power == NodePower::Asleep
     }
 
+    /// The gray-failure state while the node is degraded, else `None`.
+    #[must_use]
+    pub fn gray(&self) -> Option<GrayState> {
+        match self.phase {
+            NodePhase::Degraded { gray } => Some(gray),
+            _ => None,
+        }
+    }
+
+    /// Whether the node is serving gray (degraded capacity and an
+    /// elevated CE rate, but still in the pool).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.phase.is_degraded()
+    }
+
+    /// Whether the watchdog has quarantined this node: still probed,
+    /// still ticking, but excluded from every placement path until it
+    /// survives probation.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self.phase, NodePhase::Degraded { gray } if gray.quarantined)
+    }
+
+    /// The vCPU budget placements may commit against: 2x core
+    /// overcommit, throttled by the gray capacity cap while the node is
+    /// degraded. A healthy node's budget is exactly `cores * 2`.
+    #[must_use]
+    pub fn vcpu_budget(&self) -> usize {
+        let full = self.cores() * 2;
+        match self.phase {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            NodePhase::Degraded { gray } => (full as f64 * gray.capacity_cap).floor() as usize,
+            _ => full,
+        }
+    }
+
     /// Ticks the node's hypervisor and accumulates energy.
     pub fn tick(&mut self, duration: Seconds) -> uniserver_hypervisor::hypervisor::TickOutcome {
         let outcome = self.hypervisor.tick(duration);
@@ -147,11 +184,12 @@ impl ManagedNode {
         self.hypervisor.node().core_count()
     }
 
-    /// Whether the node can fit `config` (CPU overcommit 2x, memory
-    /// checked by the hypervisor's relaxed-domain accounting).
+    /// Whether the node can fit `config` (CPU overcommit 2x — throttled
+    /// by the gray capacity cap while degraded — and memory checked by
+    /// the hypervisor's relaxed-domain accounting).
     #[must_use]
     pub fn fits(&self, config: &VmConfig) -> bool {
-        let cpu_ok = self.committed_vcpus() + config.vcpus <= self.cores() * 2;
+        let cpu_ok = self.committed_vcpus() + config.vcpus <= self.vcpu_budget();
         let mem_ok = self.hypervisor.memory_used_relaxed().checked_add(config.memory).is_some_and(
             |needed| {
                 needed
@@ -165,6 +203,18 @@ impl ManagedNode {
         cpu_ok && mem_ok
     }
 
+    /// The reliability score schedulers and the predictor should act
+    /// on: the raw predictor score, divided by the gray CE multiplier
+    /// while the node is degraded — the elevated error rate priced in
+    /// honestly instead of hidden behind a stale score.
+    #[must_use]
+    pub fn effective_reliability(&self) -> f64 {
+        match self.phase {
+            NodePhase::Degraded { gray } => self.reliability / gray.ce_multiplier,
+            _ => self.reliability,
+        }
+    }
+
     /// The current management metrics.
     #[must_use]
     pub fn metrics(&self) -> NodeMetrics {
@@ -172,7 +222,7 @@ impl ManagedNode {
             availability: self.hypervisor.availability(),
             utilization: self.committed_vcpus() as f64 / self.cores() as f64,
             energy: self.energy,
-            reliability: self.reliability,
+            reliability: self.effective_reliability(),
         }
     }
 }
@@ -215,6 +265,38 @@ mod tests {
         }
         // Memory (not CPU) is the binding constraint now.
         assert!(!n.fits(&VmConfig::ldbc_benchmark()));
+    }
+
+    #[test]
+    fn degraded_nodes_throttle_capacity_and_price_reliability_honestly() {
+        let mut n = node();
+        assert_eq!(n.vcpu_budget(), 16, "healthy: 8 cores x 2 overcommit");
+        n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        let gray = GrayState {
+            capacity_cap: 0.25,
+            ce_multiplier: 8.0,
+            clears_at_tick: 100,
+            quarantined: false,
+        };
+        n.phase = NodePhase::Degraded { gray };
+        assert!(n.is_online(), "gray nodes keep serving");
+        assert!(n.is_degraded());
+        assert!(!n.is_quarantined());
+        assert_eq!(n.vcpu_budget(), 4, "throttled to a quarter");
+        // 2 vCPUs committed + 2 requested == 4: the throttled budget
+        // still fits exactly one more LDBC VM, and no further.
+        assert!(n.fits(&VmConfig::ldbc_benchmark()));
+        n.launch(VmConfig::ldbc_benchmark()).unwrap();
+        assert!(!n.fits(&VmConfig::ldbc_benchmark()), "capacity cap binds");
+        assert!(
+            (n.metrics().reliability - 1.0 / 8.0).abs() < 1e-12,
+            "CE multiplier divides the effective reliability"
+        );
+        n.phase = NodePhase::Degraded { gray: GrayState { quarantined: true, ..gray } };
+        assert!(n.is_quarantined());
+        n.phase = NodePhase::Online;
+        assert_eq!(n.vcpu_budget(), 16, "recovery restores the full budget");
+        assert_eq!(n.metrics().reliability, 1.0);
     }
 
     #[test]

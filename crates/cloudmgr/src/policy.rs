@@ -295,6 +295,16 @@ pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Cadence, in ticks, at which the cluster re-scores *asleep* nodes
+    /// through the failure predictor — the slow clock that lets a node
+    /// parked mid-reliability-dip age its error evidence out and
+    /// recover while it sleeps, instead of freezing below the wake
+    /// floors forever. `None` (the default) never re-scores, which is
+    /// byte-identical to the pre-slow-clock behavior.
+    fn sleeper_rescore_every(&self) -> Option<u64> {
+        None
+    }
+
     /// The periodic management pass: given the rack view, per-node live
     /// placement counts and the current tick, return park/drain orders.
     /// Draws, if any, must be pure in `(seed, tick)`.
@@ -400,12 +410,17 @@ pub struct ConsolidatePolicy {
     pub drain_max_placements: u32,
     /// Per-VM predicted migration-duration budget for drains.
     pub max_migration_secs: f64,
+    /// Slow-clock cadence, in ticks, at which the cluster re-runs the
+    /// failure predictor over *asleep* nodes so a mid-dip park recovers
+    /// in its sleep (silent decay ages the error evidence out).
+    pub sleeper_rescore_every: u64,
 }
 
 impl ConsolidatePolicy {
     /// Production defaults: rebalance every 12 ticks (one minute at 5 s
-    /// ticks), two spares, drain one ≤2-placement node per pass, and
-    /// only move VMs whose predicted pre-copy completes within 10 s.
+    /// ticks), two spares, drain one ≤2-placement node per pass, only
+    /// move VMs whose predicted pre-copy completes within 10 s, and
+    /// re-score sleepers every 60 ticks (five minutes at 5 s ticks).
     #[must_use]
     pub fn new(scheduler: Scheduler) -> Self {
         ConsolidatePolicy {
@@ -415,20 +430,67 @@ impl ConsolidatePolicy {
             max_drains_per_pass: 1,
             drain_max_placements: 2,
             max_migration_secs: 10.0,
+            sleeper_rescore_every: 60,
         }
     }
 
-    /// Whether parking `node` is safe: every class's wake floors must
-    /// pass *right now*. A sleeping node neither ticks nor re-scores, so
-    /// its reliability and availability freeze at park time — park a
-    /// node mid-dip and it is stranded below the wake floors forever,
-    /// bleeding fleet capacity one node at a time (an awake idle node
-    /// recovers; a parked one cannot). Gold's floors are the strictest,
-    /// so gold-grade metrics keep the parked pool universally wakeable.
+    /// Whether parking `node` is safe. The availability wake floor must
+    /// pass *right now*: a sleeping node accrues neither uptime nor
+    /// downtime, so availability freezes at park time and a node parked
+    /// below Gold's floor could never serve premium wakes. Reliability
+    /// is deliberately *not* gated any more — the cluster re-scores
+    /// sleepers on a slow clock
+    /// ([`PlacementPolicy::sleeper_rescore_every`]), so a node parked
+    /// mid-reliability-dip ages its error evidence out while asleep and
+    /// wakes recovered instead of freezing below the floors forever.
+    /// Gray nodes never park: a parked node is invisible to the health
+    /// watchdog's probes, and its fault clock must keep running in view.
     fn parkable(&self, node: &ManagedNode) -> bool {
-        let m = node.metrics();
-        m.reliability >= SlaClass::Gold.min_reliability()
-            && m.availability >= SlaClass::Gold.min_availability() - 1e-12
+        !node.is_degraded()
+            && node.metrics().availability >= SlaClass::Gold.min_availability() - 1e-12
+    }
+
+    /// Reliability band (quarters of the unit interval, top band
+    /// `[0.75, 1.0]`) used as the pack walk's primary key.
+    fn reliability_band(reliability: f64) -> u8 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let band = (reliability.clamp(0.0, 1.0) * 4.0).floor() as u8;
+        band.min(3)
+    }
+
+    /// The pack walk's target: among feasible awake nodes, the highest
+    /// reliability *band* first, then the legacy lowest `(score, id)`
+    /// within that band. Pure worst-first packing concentrated load on
+    /// exactly the nodes the predictor was souring on — low reliability
+    /// drags the weigher score down, so the walk kept piling VMs onto
+    /// the flakiest node and proactive migration kept hauling them back
+    /// off. Banding keeps the bin-packing behavior between comparable
+    /// nodes but never prefers a node a full band less reliable.
+    /// Degraded nodes are never packing targets: their capacity cap is
+    /// a symptom, not a bin to fill. The same linear scan serves the
+    /// indexed and linear placement paths, so both stay byte-identical.
+    fn pack_target(
+        &self,
+        view: &RackView<'_>,
+        config: &VmConfig,
+        class: SlaClass,
+        avoid: &[NodeId],
+    ) -> Option<NodeId> {
+        view.nodes
+            .iter()
+            .filter(|n| {
+                !n.is_asleep()
+                    && !n.is_degraded()
+                    && !avoid.contains(&n.id)
+                    && self.admits(n, config, class)
+            })
+            .map(|n| (Self::reliability_band(n.metrics().reliability), self.scheduler.weigh(n), n.id))
+            .min_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then_with(|| a.1.partial_cmp(&b.1).expect("weights are finite"))
+                    .then_with(|| a.2.cmp(&b.2))
+            })
+            .map(|(_, _, id)| id)
     }
 }
 
@@ -458,8 +520,9 @@ impl PlacementPolicy for ConsolidatePolicy {
         class: SlaClass,
         avoid: &[NodeId],
     ) -> PlacementDecision {
-        // Pack: the *lowest*-scored awake node that still fits.
-        if let Some(id) = view.worst(self, config, class, avoid) {
+        // Pack: the lowest-scored awake node that still fits, within the
+        // highest reliability band on offer.
+        if let Some(id) = self.pack_target(view, config, class, avoid) {
             return PlacementDecision::Place(id);
         }
         // Demand pressure: wake the best sleeping candidate.
@@ -471,6 +534,10 @@ impl PlacementPolicy for ConsolidatePolicy {
 
     fn manages(&self) -> bool {
         true
+    }
+
+    fn sleeper_rescore_every(&self) -> Option<u64> {
+        Some(self.sleeper_rescore_every)
     }
 
     fn manage(
@@ -485,10 +552,11 @@ impl PlacementPolicy for ConsolidatePolicy {
         }
         // Empty awake nodes, best-scored first: the top `spare_nodes`
         // stay awake as the demand buffer, the rest park. Only
-        // [`ConsolidatePolicy::parkable`] nodes qualify — a degraded
-        // node stays awake to recover instead of freezing below the wake
-        // floors. Scores come from the policy's own weigher so the
-        // selection is identical under indexed and linear placement.
+        // [`ConsolidatePolicy::parkable`] nodes qualify — gray nodes
+        // stay awake in the watchdog's view, availability-sunk nodes
+        // stay awake because that metric freezes at park time. Scores
+        // come from the policy's own weigher so the selection is
+        // identical under indexed and linear placement.
         let mut empties: Vec<(f64, NodeId)> = view
             .nodes
             .iter()
@@ -531,7 +599,7 @@ impl PlacementPolicy for ConsolidatePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lifecycle::NodePower;
+    use crate::lifecycle::{GrayState, NodePhase, NodePower};
     use uniserver_platform::part::PartSpec;
 
     fn nodes(n: usize) -> Vec<ManagedNode> {
@@ -675,27 +743,76 @@ mod tests {
     }
 
     #[test]
-    fn degraded_nodes_are_never_parked_or_drained() {
-        // Five empties beyond the spares, but two are mid-reliability-dip:
-        // parking them would freeze the dip forever (asleep nodes are
-        // not re-scored), stranding them below every wake floor. They
-        // must stay awake to recover.
+    fn dipped_nodes_park_but_gray_nodes_never_do() {
+        // A mid-reliability-dip empty *does* park now: the sleeper slow
+        // clock ([`PlacementPolicy::sleeper_rescore_every`]) re-scores
+        // it while asleep, so the dip ages out in its sleep and the park
+        // is recoverable. Gray (Degraded-phase) nodes still never park
+        // or drain — a parked node is invisible to the watchdog probes
+        // that must drive it through quarantine and probation.
+        let gray = GrayState {
+            capacity_cap: 0.5,
+            ce_multiplier: 8.0,
+            clears_at_tick: 1000,
+            quarantined: false,
+        };
         let mut ns = nodes(6);
-        ns[0].reliability = 0.25;
-        ns[1].reliability = 0.85; // below Gold's 0.9 wake floor
-        let occupancy = [0, 0, 0, 0, 0, 1];
+        ns[0].reliability = 0.25; // dipped — recoverable asleep, parks
+        ns[1].phase = NodePhase::Degraded { gray }; // gray — never parks
         ns[5].launch(VmConfig::ldbc_benchmark()).unwrap();
-        ns[5].reliability = 0.5;
+        ns[5].phase = NodePhase::Degraded { gray }; // gray straggler
+        let occupancy = [0, 0, 0, 0, 0, 1];
         let pack = ConsolidatePolicy::new(Scheduler::default());
         let plan = pack.manage(&RackView::linear(&ns), &occupancy, 0, 7);
+        // Healthy empties 2..=4 tie on score and sort desc by id; the
+        // two highest-id ones stay as spares, then come node 2 and the
+        // low-scored dipped node 0. The gray empty never appears.
         assert_eq!(
             plan.park,
-            vec![NodeId(2)],
-            "only healthy empties beyond the two spares may park"
+            vec![NodeId(2), NodeId(0)],
+            "the dip parks (recoverable), the gray empty must not"
         );
         assert!(
             plan.drain.is_empty(),
-            "a degraded straggler must not be drained into a park"
+            "a gray straggler must not be drained into a park"
+        );
+    }
+
+    #[test]
+    fn packing_prefers_the_higher_reliability_band_and_skips_gray_nodes() {
+        let mut ns = nodes(3);
+        // Node 0: heaviest load, a full band less reliable — the legacy
+        // worst-first pick. Node 1: lighter, pristine. Node 2: lowest
+        // score in the top band, but serving gray.
+        for _ in 0..2 {
+            ns[0].launch(VmConfig::ldbc_benchmark()).unwrap();
+            ns[2].launch(VmConfig::ldbc_benchmark()).unwrap();
+        }
+        ns[1].launch(VmConfig::ldbc_benchmark()).unwrap();
+        ns[0].reliability = 0.65; // band 2; node 1 sits in band 3
+        ns[2].phase = NodePhase::Degraded {
+            gray: GrayState {
+                capacity_cap: 1.0,
+                ce_multiplier: 1.0,
+                clears_at_tick: 1000,
+                quarantined: false,
+            },
+        };
+        let pack = ConsolidatePolicy::new(Scheduler::default());
+        let cfg = VmConfig::ldbc_benchmark();
+        let view = RackView::linear(&ns);
+        // The raw ranking would still pack onto the flaky node …
+        assert_eq!(
+            view.worst(&pack, &cfg, SlaClass::Bronze, &[]),
+            Some(NodeId(0)),
+            "low reliability drags the score down, so the raw walk picks node 0"
+        );
+        // … but the band tie-break holds the pack inside the healthy
+        // band, and the gray node (cheapest there) is never a target.
+        assert_eq!(
+            pack.decide(&view, &cfg, SlaClass::Bronze, &[]),
+            PlacementDecision::Place(NodeId(1)),
+            "pack within the top band, skipping the gray node"
         );
     }
 

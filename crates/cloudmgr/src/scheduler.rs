@@ -83,12 +83,18 @@ impl Scheduler {
     /// The pre-UniServer feasibility gates: capacity, liveness, and the
     /// availability floor — everything *except* the reliability floor.
     /// The `reliability_blind()` ablation admits exactly this set.
+    /// `fits` is capacity-capped while a node serves gray, and a
+    /// watchdog-quarantined node hosts nothing until it survives
+    /// probation — even the blind ablation respects the quarantine,
+    /// because a quarantined node is operationally out of the pool, not
+    /// merely predicted unreliable.
     #[must_use]
     pub fn admits_blind(&self, node: &ManagedNode, config: &VmConfig, class: SlaClass) -> bool {
         node.fits(config)
             // The failure lifecycle pulls crashed nodes out of the pool
             // entirely; an offline or rejoining node hosts nothing.
             && node.is_online()
+            && !node.is_quarantined()
             && !node.hypervisor.node().is_crashed()
             // Availability gating uses the class requirement directly;
             // fresh nodes (availability 1.0) pass every floor.

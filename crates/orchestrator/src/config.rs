@@ -12,6 +12,8 @@ use uniserver_core::optimizer::EopOptimizer;
 use uniserver_faultinject::chaos::ChaosPlan;
 use uniserver_hypervisor::vm::VmConfig;
 
+use crate::watchdog::WatchdogConfig;
+
 /// Which margins the fleet's nodes deploy at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MarginPolicy {
@@ -126,6 +128,10 @@ pub struct OrchestratorConfig {
     /// [`PolicyKind::EnergySla`] (the default) reproduces pre-trait
     /// behavior byte-for-byte.
     pub policy: PolicyKind,
+    /// The gray-failure health watchdog. Disabled (the default), no
+    /// probes run and degraded nodes are only ever cleared by their
+    /// fault expiring — the legacy profiles never see any of it.
+    pub watchdog: WatchdogConfig,
 }
 
 impl OrchestratorConfig {
@@ -164,6 +170,7 @@ impl OrchestratorConfig {
             lifecycle: FailureLifecycle::disabled(),
             chaos: None,
             policy: PolicyKind::EnergySla,
+            watchdog: WatchdogConfig::disabled(),
         }
     }
 
@@ -205,6 +212,22 @@ impl OrchestratorConfig {
         let mut config = OrchestratorConfig::flash_crowd(nodes, seed);
         config.lifecycle = FailureLifecycle::standard();
         config.chaos = Some(ChaosPlan::rack_and_flash(config.ticks()));
+        config
+    }
+
+    /// The gray-failure headline: the flash-crowd rack under the
+    /// failure lifecycle, the [`ChaosPlan::gray_brownout`] campaign —
+    /// a steady trickle of silent degradations (capacity capped at
+    /// 50 %, CE rate 8×, no crash) plus a fleet-wide power cap over
+    /// the back half of the run — and the standard health watchdog:
+    /// 3-of-8 probe failures quarantine a node, a budgeted drain
+    /// empties it, and 5 consecutive clean probes readmit it.
+    #[must_use]
+    pub fn gray_profile(nodes: usize, seed: u64) -> Self {
+        let mut config = OrchestratorConfig::flash_crowd(nodes, seed);
+        config.lifecycle = FailureLifecycle::standard();
+        config.chaos = Some(ChaosPlan::gray_brownout(config.ticks(), nodes as u32));
+        config.watchdog = WatchdogConfig::standard();
         config
     }
 

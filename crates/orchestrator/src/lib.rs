@@ -19,7 +19,10 @@
 //!   worker threads (`Cluster::tick_sharded`) under a deterministic
 //!   sequential reduce;
 //! * [`summary`] — the deterministic [`ClusterSummary`] artefact plus
-//!   wall-clock [`OrchestratorTiming`].
+//!   wall-clock [`OrchestratorTiming`];
+//! * [`watchdog`] — the gray-failure health watchdog: seeded probes
+//!   with K-of-N hysteresis driving degraded nodes through quarantine
+//!   → budgeted drain → probation → readmit.
 //!
 //! # Examples
 //!
@@ -37,15 +40,17 @@ pub mod events;
 pub mod orchestrator;
 mod serve;
 pub mod summary;
+pub mod watchdog;
 
 pub use config::{AdmissionPolicy, MarginPolicy, OrchestratorConfig};
 pub use deploy::{deploy_cluster, rejoin_node, DeployedNode};
 pub use events::{Event, EventQueue};
 pub use orchestrator::{compare, run, run_timed, run_with_telemetry};
 pub use summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, PowerOutcome,
-    StageBreakdown, TickMetrics,
+    ChaosOutcome, ClusterSummary, GrayOutcome, MarginComparison, OrchestratorTiming, PartUsage,
+    PowerOutcome, StageBreakdown, TickMetrics,
 };
+pub use watchdog::{Watchdog, WatchdogConfig};
 pub use uniserver_telemetry::{MetricsRegistry, Telemetry, TraceSink};
 pub use uniserver_cloudmgr::lifecycle::{FailureLifecycle, NodePhase};
 pub use uniserver_cloudmgr::policy::PolicyKind;

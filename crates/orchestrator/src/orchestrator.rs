@@ -45,8 +45,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use uniserver_cloudmgr::lifecycle::{GrayState, NodePhase};
 use uniserver_cloudmgr::node::NodeId;
 use uniserver_cloudmgr::pool::{resolve_workers, ShardPool};
+use uniserver_core::eop::OperatingPoint;
+use uniserver_faultinject::chaos::ChaosPlan;
 use uniserver_platform::node::CrashEvent;
 use uniserver_telemetry::{Stage, StageProfiler, Telemetry, TraceEvent};
 use uniserver_units::{Celsius, Seconds, Volts};
@@ -58,9 +61,10 @@ use crate::deploy::{deploy_cluster_on, rejoin_node};
 use crate::events::EventQueue;
 use crate::serve::{CrashPolicy, RetryQueue, ServeCounters};
 use crate::summary::{
-    ChaosOutcome, ClusterSummary, MarginComparison, OrchestratorTiming, PartUsage, PowerOutcome,
-    StageBreakdown, TickMetrics,
+    ChaosOutcome, ClusterSummary, GrayOutcome, MarginComparison, OrchestratorTiming, PartUsage,
+    PowerOutcome, StageBreakdown, TickMetrics,
 };
+use crate::watchdog::{probe_fails, Verdict, Watchdog};
 
 /// Runs one orchestrated scenario.
 ///
@@ -145,6 +149,11 @@ pub fn run_with_telemetry(
     // The cooling-failure ambient step currently programmed into the
     // fleet (0 = the deploy-time baseline).
     let mut ambient_applied = 0.0f64;
+    // Gray failures and the watchdog only engage when the plan carries
+    // a gray or power-cap campaign — every other profile must not even
+    // touch the new code paths, so their summaries stay byte-identical.
+    let gray_active = config.chaos.as_ref().is_some_and(ChaosPlan::has_gray);
+    let mut watchdog = Watchdog::new(config.watchdog);
 
     for tick in 0..ticks {
         let now = Seconds::new(tick as f64 * dt.as_secs());
@@ -154,6 +163,7 @@ pub fn run_with_telemetry(
         let step = Seconds::new(dt.as_secs().min(config.horizon.as_secs() - now.as_secs()));
         let mut t_offered = 0u64;
         let mut t_placed = 0u64;
+        let mut t_migrations = 0u64;
         tel.begin_tick(tick, now.as_secs());
 
         // --- 0. Repairs tick down; nodes whose MTTR window just closed
@@ -170,6 +180,122 @@ pub fn run_with_telemetry(
                 c.rejoins += 1;
                 tel.inc("rejoins");
                 tel.emit(&TraceEvent::Rejoin { node: u64::from(id.0) });
+            }
+        }
+
+        // --- 0b. Gray failures: expired faults clear, new onsets land,
+        // and the watchdog probes every degraded node — quarantining,
+        // draining and readmitting on its K-of-N hysteresis. Sequential
+        // in node-index order (the watch map iterates ascending), so
+        // worker count can never reorder a probe draw.
+        if gray_active {
+            let _span = profiler.scoped(Stage::Recovery);
+            // (i) Faults expire on their own clock — but only while the
+            // node is *not* quarantined: once the watchdog distrusts a
+            // node, only a full probation run brings it back, however
+            // long the underlying fault has been gone (flap-proofing).
+            for idx in 0..config.cluster.nodes {
+                let Some(gray) = cluster.nodes()[idx].gray() else { continue };
+                if !gray.quarantined && tick >= gray.clears_at_tick {
+                    cluster.clear_degraded(NodeId(idx as u32));
+                    watchdog.forget(idx as u32);
+                }
+            }
+            // (ii) New onsets from the seeded campaign. Only healthy
+            // online awake nodes degrade; offline, rejoining, asleep or
+            // already-degraded nodes skip their draw.
+            if let Some(plan) = &config.chaos {
+                #[allow(clippy::cast_possible_truncation)]
+                let fleet_width = config.cluster.nodes as u32;
+                for onset in plan.gray_onsets_at(config.seed, tick, step.as_secs(), fleet_width) {
+                    let idx = onset.node as usize;
+                    let node = &cluster.nodes()[idx];
+                    if node.phase() != NodePhase::Online || node.is_asleep() {
+                        continue;
+                    }
+                    cluster.mark_degraded(
+                        NodeId(onset.node),
+                        GrayState {
+                            capacity_cap: onset.capacity_cap,
+                            ce_multiplier: onset.ce_multiplier,
+                            clears_at_tick: tick + onset.duration_ticks,
+                            quarantined: false,
+                        },
+                    );
+                    if config.watchdog.enabled {
+                        watchdog.begin_watch(onset.node);
+                    }
+                    c.gray_onsets += 1;
+                    tel.inc("gray_onsets");
+                    tel.emit(&TraceEvent::GrayOnset {
+                        node: u64::from(onset.node),
+                        duration_ticks: onset.duration_ticks,
+                    });
+                }
+            }
+            // (iii) The watchdog's probe round over everything under
+            // watch. A watch whose node left the degraded phase by
+            // another path (it crashed outright) is dropped — the
+            // failure lifecycle owns it now.
+            for node in watchdog.watched() {
+                let idx = node as usize;
+                if !cluster.nodes()[idx].is_degraded() {
+                    watchdog.forget(node);
+                    continue;
+                }
+                let gray = cluster.nodes()[idx].gray().expect("degraded nodes carry gray state");
+                let p = if tick < gray.clears_at_tick {
+                    config.watchdog.probe_fail_degraded
+                } else {
+                    config.watchdog.probe_fail_healthy
+                };
+                let failed = probe_fails(config.seed, node, tick, p);
+                if failed {
+                    c.probe_failures += 1;
+                    tel.inc("probe_failures");
+                }
+                match watchdog.observe(node, failed) {
+                    Verdict::Quarantine => {
+                        cluster.set_quarantined(NodeId(node), true);
+                        // A quarantined extended-margin node backs its
+                        // EOP off to nominal: while it is suspect it
+                        // stops trading crash margin for energy.
+                        if config.margins == MarginPolicy::Extended {
+                            let server = cluster.nodes_mut()[idx].hypervisor.node_mut();
+                            let nominal = OperatingPoint::nominal(server.part().cores);
+                            nominal.apply_to(server);
+                            points[idx] = nominal;
+                        }
+                        c.quarantines += 1;
+                        tel.inc("quarantines");
+                        tel.emit(&TraceEvent::Quarantine { node: u64::from(node) });
+                    }
+                    Verdict::Readmit => {
+                        cluster.set_quarantined(NodeId(node), false);
+                        cluster.clear_degraded(NodeId(node));
+                        watchdog.forget(node);
+                        // Readmission re-characterizes like a repair
+                        // rejoin: the silicon is re-shmooed as it is
+                        // now, not restored from a stale point.
+                        points[idx] = rejoin_node(
+                            config,
+                            &cache,
+                            idx,
+                            cluster.nodes_mut()[idx].hypervisor.node_mut(),
+                        );
+                        c.readmissions += 1;
+                        tel.inc("readmissions");
+                        tel.emit(&TraceEvent::Readmit { node: u64::from(node) });
+                    }
+                    Verdict::None => {}
+                }
+                // Quarantined nodes drain on the per-tick budget: gold
+                // first, pre-copy, never evicting — a bite per tick
+                // until the node is empty.
+                if watchdog.in_quarantine(node) {
+                    t_migrations +=
+                        cluster.drain_degraded(NodeId(node), config.watchdog.drain_budget);
+                }
             }
         }
 
@@ -243,7 +369,7 @@ pub fn run_with_telemetry(
             cluster.tick_pooled(step, &pool)
         };
         c.energy_j += report.energy.as_joules();
-        let mut t_migrations = report.proactive_migrations;
+        t_migrations += report.proactive_migrations;
         tel.add("proactive_migrations", report.proactive_migrations);
         let tick_end = now + step;
 
@@ -251,6 +377,49 @@ pub fn run_with_telemetry(
         // an eviction whatever the class promised.
         for lost in &report.evicted {
             c.charge_eviction(lost, tel);
+        }
+
+        // --- 3a. Brownout: while a power-cap campaign is in force the
+        // fleet's actual draw this tick is compared with the cap, the
+        // shortfall is charged to the deficit meter, and the fleet
+        // gracefully degrades — empty nodes park (power-managing
+        // policies only; the reference policy never re-wakes parked
+        // nodes) and load sheds bronze-first, with every shed charged
+        // as the SLA violation it is.
+        if let Some(plan) = &config.chaos {
+            if let Some(cap_watts) = plan.power_cap_at(tick) {
+                let draw_watts = report.energy.as_joules() / step.as_secs();
+                if draw_watts > cap_watts {
+                    let deficit = draw_watts - cap_watts;
+                    c.powercap_deficit_watt_secs += deficit * step.as_secs();
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    tel.record("powercap_deficit_watts", deficit.max(0.0).round() as u64);
+                    if cluster.policy().manages() {
+                        let mut occupied = vec![false; config.cluster.nodes];
+                        for p in cluster.placements() {
+                            occupied[p.node.0 as usize] = true;
+                        }
+                        for (idx, taken) in occupied.iter().enumerate() {
+                            let n = &cluster.nodes()[idx];
+                            if !taken && n.is_online() && !n.is_asleep() && !n.is_degraded() {
+                                #[allow(clippy::cast_possible_truncation)]
+                                cluster.park_node(NodeId(idx as u32));
+                            }
+                        }
+                    }
+                    let live = cluster.placements().len();
+                    if live > 0 {
+                        // Proportional control: assume the deficit
+                        // scales with live placements and shed just
+                        // enough, bounded per tick so one bad estimate
+                        // cannot hollow the fleet out.
+                        let per_vm = draw_watts / live as f64;
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let needed = (deficit / per_vm).ceil().max(1.0) as usize;
+                        c.shed_for_powercap(&mut cluster, needed.min(32), tel);
+                    }
+                }
+            }
         }
 
         // --- 3b. Chaos-plan crash injection: seeded fault campaigns
@@ -307,6 +476,12 @@ pub fn run_with_telemetry(
             c.asleep_node_secs += step.as_secs() * asleep as f64;
             c.peak_asleep = c.peak_asleep.max(asleep as u64);
             tel.observe("nodes_asleep", asleep as u64);
+        }
+        if gray_active {
+            let degraded = cluster.degraded_count();
+            c.degraded_node_secs += step.as_secs() * degraded as f64;
+            c.peak_degraded = c.peak_degraded.max(degraded as u64);
+            tel.observe("degraded_nodes", degraded as u64);
         }
         tel.observe("live_placements", cluster.placements().len() as u64);
         tel.observe("offline_nodes", offline as u64);
@@ -441,6 +616,17 @@ pub fn run_with_telemetry(
                 asleep_node_secs: c.asleep_node_secs,
                 peak_asleep: c.peak_asleep,
             }
+        }),
+        gray: gray_active.then(|| GrayOutcome {
+            gray_onsets: c.gray_onsets,
+            probe_failures: c.probe_failures,
+            quarantines: c.quarantines,
+            readmissions: c.readmissions,
+            degraded_node_secs: c.degraded_node_secs,
+            degraded_node_hours: c.degraded_node_secs / 3600.0,
+            peak_degraded: c.peak_degraded,
+            powercap_deficit_watt_secs: c.powercap_deficit_watt_secs,
+            powercap_sheds: c.powercap_sheds,
         }),
     };
     let timing = OrchestratorTiming {
@@ -630,6 +816,55 @@ mod tests {
         assert_eq!(a, b, "worker count must never leak into a chaos summary");
         let chaos = a.chaos.expect("chaos outcome present");
         assert!(chaos.nodes_offlined > 0, "the 600 s profile must offline nodes");
+    }
+
+    #[test]
+    fn gray_profile_quarantines_drains_and_readmits() {
+        let mut config = OrchestratorConfig::gray_profile(12, 42);
+        config.horizon = Seconds::new(900.0);
+        // Re-derive the plan for the shortened horizon so the gray
+        // trickle and the brownout window both land inside it.
+        config.chaos =
+            Some(uniserver_faultinject::chaos::ChaosPlan::gray_brownout(config.ticks(), 12));
+        let summary = run(&config);
+        let gray = summary.gray.expect("the gray profile must report an outcome");
+
+        assert!(gray.gray_onsets > 0, "the campaign must degrade nodes");
+        assert!(gray.probe_failures > 0, "degraded nodes must fail probes");
+        assert!(gray.quarantines > 0, "3-of-8 hysteresis must trip on 90 % fail rates");
+        assert!(gray.degraded_node_secs > 0.0, "degraded dwell must accrue");
+        assert!(gray.peak_degraded >= 1);
+        assert!(
+            (gray.degraded_node_hours - gray.degraded_node_secs / 3600.0).abs() < 1e-12,
+            "node-hours is the same dwell in different units"
+        );
+        assert!(
+            gray.readmissions <= gray.quarantines,
+            "a node must be quarantined before it can be readmitted"
+        );
+        assert!(
+            gray.powercap_deficit_watt_secs > 0.0,
+            "a 288 W cap on a 12-node fleet must run a deficit"
+        );
+        // Gray nodes never crash and never go offline, so the
+        // accounting invariants hold with capacity merely capped.
+        assert_eq!(summary.offered, summary.placed + summary.abandoned);
+        assert_eq!(summary.placed, summary.completed + summary.evicted + summary.live_at_end);
+    }
+
+    #[test]
+    fn gray_runs_are_deterministic_for_any_worker_count() {
+        let mut config = OrchestratorConfig::gray_profile(8, 7);
+        config.horizon = Seconds::new(600.0);
+        config.chaos =
+            Some(uniserver_faultinject::chaos::ChaosPlan::gray_brownout(config.ticks(), 8));
+        config.threads = 1;
+        let a = run(&config);
+        config.threads = 4;
+        let b = run(&config);
+        assert_eq!(a, b, "worker count must never leak into a gray summary");
+        let gray = a.gray.expect("gray outcome present");
+        assert!(gray.gray_onsets > 0, "the 600 s profile must degrade nodes");
     }
 
     #[test]

@@ -127,6 +127,22 @@ pub(crate) struct ServeCounters {
     pub asleep_node_secs: f64,
     /// Peak simultaneously-asleep node count.
     pub peak_asleep: u64,
+    /// Gray-failure onsets injected by the chaos plan.
+    pub gray_onsets: u64,
+    /// Watchdog probes that failed.
+    pub probe_failures: u64,
+    /// Nodes the watchdog quarantined (K-of-N trip).
+    pub quarantines: u64,
+    /// Quarantined nodes that survived probation and rejoined.
+    pub readmissions: u64,
+    /// Summed degraded node-seconds (gray onset until clear/readmit).
+    pub degraded_node_secs: f64,
+    /// Peak simultaneously-degraded node count.
+    pub peak_degraded: u64,
+    /// Accumulated fleet-draw excess over the brownout cap, in W·s.
+    pub powercap_deficit_watt_secs: f64,
+    /// Placements shed (bronze first) to get back under a power cap.
+    pub powercap_sheds: u64,
 }
 
 impl ServeCounters {
@@ -156,6 +172,14 @@ impl ServeCounters {
             peak_offline: 0,
             asleep_node_secs: 0.0,
             peak_asleep: 0,
+            gray_onsets: 0,
+            probe_failures: 0,
+            quarantines: 0,
+            readmissions: 0,
+            degraded_node_secs: 0.0,
+            peak_degraded: 0,
+            powercap_deficit_watt_secs: 0.0,
+            powercap_sheds: 0,
         }
     }
 
@@ -359,6 +383,30 @@ impl ServeCounters {
             }
         }
         false
+    }
+
+    /// Sheds up to `count` placements bronze-first to pull the fleet
+    /// back under a brownout power cap. Each shed goes through the same
+    /// books as a capacity shed — charged as an eviction (the cap *is*
+    /// an SLA event) — plus the power-cap counter. Returns how many
+    /// victims actually existed.
+    pub fn shed_for_powercap(
+        &mut self,
+        cluster: &mut Cluster,
+        count: usize,
+        tel: &mut Telemetry,
+    ) -> u64 {
+        let mut done = 0u64;
+        for _ in 0..count {
+            // above_class 0: bronze then silver are fair game, gold is
+            // never shed for power.
+            if !self.shed_lowest(cluster, 0, tel) {
+                break;
+            }
+            self.powercap_sheds += 1;
+            done += 1;
+        }
+        done
     }
 
     /// Abandons everything still queued — called once when the horizon

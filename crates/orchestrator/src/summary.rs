@@ -96,6 +96,32 @@ pub struct PowerOutcome {
     pub peak_asleep: u64,
 }
 
+/// What the gray-failure campaign and the health watchdog did to one
+/// run — `Some` only when the chaos plan carries a gray or power-cap
+/// campaign, so every other summary stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrayOutcome {
+    /// Gray-failure onsets injected (nodes that silently degraded).
+    pub gray_onsets: u64,
+    /// Watchdog probes that failed.
+    pub probe_failures: u64,
+    /// Nodes the watchdog quarantined (K-of-N hysteresis tripped).
+    pub quarantines: u64,
+    /// Quarantined nodes that survived probation and were readmitted.
+    pub readmissions: u64,
+    /// Summed degraded node-seconds (onset until clear or readmit).
+    pub degraded_node_secs: f64,
+    /// The same degraded dwell in node-hours.
+    pub degraded_node_hours: f64,
+    /// Peak simultaneously-degraded node count.
+    pub peak_degraded: u64,
+    /// Accumulated fleet-draw excess over the brownout cap, in W·s —
+    /// the energy the cap demanded but the fleet had not yet shed.
+    pub powercap_deficit_watt_secs: f64,
+    /// Placements shed (bronze first) to get back under the cap.
+    pub powercap_sheds: u64,
+}
+
 /// Per-part aggregation of the rack.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartUsage {
@@ -184,6 +210,9 @@ pub struct ClusterSummary {
     /// Power-management accounting — `Some` only when the active policy
     /// manages node power.
     pub power: Option<PowerOutcome>,
+    /// Gray-failure and watchdog accounting — `Some` only when the
+    /// chaos plan carries a gray or power-cap campaign.
+    pub gray: Option<GrayOutcome>,
 }
 
 /// Per-phase wall-clock attribution of the serving loop, from the

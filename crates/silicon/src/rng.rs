@@ -142,6 +142,10 @@ pub mod salt {
     pub const CHAOS: u64 = 0x510E_527F_ADE6_82D1;
     /// Rack/PSU blast-radius start draw of a correlated chaos failure.
     pub const CHAOS_RACK: u64 = 0x6A09_E667_F3BC_C908;
+    /// Gray-failure onset + duration draws (degraded, not crashed).
+    pub const GRAY: u64 = 0xBB67_AE85_84CA_A73B;
+    /// Health-watchdog probe draws against a possibly-degraded node.
+    pub const PROBE: u64 = 0xA54F_F53A_5F1D_36F1;
 }
 
 /// Maps a 64-bit word onto `[0, 1)` using its top 53 bits — the single

@@ -83,6 +83,24 @@ pub enum TraceEvent<'a> {
         /// Destination node index.
         to: u64,
     },
+    /// A node silently went gray: capacity capped, CE rate elevated,
+    /// still serving.
+    GrayOnset {
+        /// Node index.
+        node: u64,
+        /// Seeded fault duration, in ticks.
+        duration_ticks: u64,
+    },
+    /// The health watchdog quarantined a degraded node.
+    Quarantine {
+        /// Node index.
+        node: u64,
+    },
+    /// A quarantined node survived probation and was readmitted.
+    Readmit {
+        /// Node index.
+        node: u64,
+    },
 }
 
 impl TraceEvent<'_> {
@@ -99,6 +117,9 @@ impl TraceEvent<'_> {
             TraceEvent::Offline { .. } => "offline",
             TraceEvent::Rejoin { .. } => "rejoin",
             TraceEvent::Migration { .. } => "migration",
+            TraceEvent::GrayOnset { .. } => "gray_onset",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Readmit { .. } => "readmit",
         }
     }
 
@@ -131,8 +152,14 @@ impl TraceEvent<'_> {
                 w.field_u64("node", *node);
                 w.field_u64("mttr_ticks", *mttr_ticks);
             }
-            TraceEvent::Rejoin { node } => {
+            TraceEvent::Rejoin { node }
+            | TraceEvent::Quarantine { node }
+            | TraceEvent::Readmit { node } => {
                 w.field_u64("node", *node);
+            }
+            TraceEvent::GrayOnset { node, duration_ticks } => {
+                w.field_u64("node", *node);
+                w.field_u64("duration_ticks", *duration_ticks);
             }
             TraceEvent::Migration { class, placement, from, to } => {
                 w.field_str("class", class);
@@ -271,6 +298,9 @@ mod tests {
             TraceEvent::Offline { node: 3, mttr_ticks: 12 },
             TraceEvent::Rejoin { node: 3 },
             TraceEvent::Migration { class: "gold", placement: 5, from: 3, to: 4 },
+            TraceEvent::GrayOnset { node: 6, duration_ticks: 40 },
+            TraceEvent::Quarantine { node: 6 },
+            TraceEvent::Readmit { node: 6 },
         ];
         let mut sink = TraceSink::buffered();
         for ev in &events {

@@ -1,0 +1,103 @@
+//! Contracts of the gray-failure subsystem: a gray-profile run's JSON
+//! summary is a pure function of its configuration whatever the worker
+//! count, and the health watchdog's hysteresis never readmits a node
+//! that has not produced a full probation streak of clean probes —
+//! whatever probe sequence the node throws at it.
+
+use proptest::prelude::*;
+
+use uniserver_bench::cluster::summary_to_json;
+use uniserver_faultinject::chaos::ChaosPlan;
+use uniserver_orchestrator::watchdog::Verdict;
+use uniserver_orchestrator::{run_timed, OrchestratorConfig, Watchdog, WatchdogConfig};
+use uniserver_units::Seconds;
+
+/// A CI-sized gray scenario: the full gray headline (gray onsets,
+/// watchdog, power cap) shrunk to a 10-minute horizon. The chaos plan
+/// is re-derived for the shortened horizon so the brownout window
+/// still lands inside the run.
+fn gray_smoke(nodes: usize, seed: u64) -> OrchestratorConfig {
+    let mut config = OrchestratorConfig::gray_profile(nodes, seed);
+    config.horizon = Seconds::new(600.0);
+    #[allow(clippy::cast_possible_truncation)]
+    let width = nodes as u32;
+    config.chaos = Some(ChaosPlan::gray_brownout(config.ticks(), width));
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whole-run byte stability under gray failure: quarantines,
+    /// budgeted drains, readmissions and power-cap sheds must all land
+    /// identically whatever the worker count.
+    #[test]
+    fn gray_summary_is_byte_identical_for_any_worker_count(
+        seed in 0u64..200,
+        nodes in 6usize..12,
+        workers in 2usize..6,
+    ) {
+        let mut config = gray_smoke(nodes, seed);
+        config.threads = 1;
+        let (sequential, _) = run_timed(&config);
+        config.threads = workers;
+        let (sharded, _) = run_timed(&config);
+        prop_assert!(sequential.gray.is_some(), "gray profile must report a gray outcome");
+        prop_assert_eq!(
+            summary_to_json(&sequential, true),
+            summary_to_json(&sharded, true),
+            "gray run diverged between 1 and {} workers", workers
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hysteresis safety: whatever the probe sequence, `Readmit` is only
+    /// ever issued after `probation_passes` **consecutive** clean probes
+    /// while quarantined — a still-failing (or flapping) node can never
+    /// sneak back into the placement pool.
+    #[test]
+    fn watchdog_never_readmits_without_a_full_clean_streak(
+        probes in proptest::collection::vec(0u8..2, 1..200),
+    ) {
+        let config = WatchdogConfig::standard();
+        let mut dog = Watchdog::new(config);
+        dog.begin_watch(7);
+
+        let mut clean_streak = 0u32;
+        let mut quarantined = false;
+        for (i, &draw) in probes.iter().enumerate() {
+            let failed = draw == 1;
+            let verdict = dog.observe(7, failed);
+            if quarantined {
+                clean_streak = if failed { 0 } else { clean_streak + 1 };
+            }
+            match verdict {
+                Verdict::Readmit => {
+                    prop_assert!(quarantined, "readmit without quarantine at probe {}", i);
+                    prop_assert!(!failed, "readmitted on a failing probe at probe {}", i);
+                    prop_assert!(
+                        clean_streak >= config.probation_passes,
+                        "readmitted after only {} clean probes (need {}) at probe {}",
+                        clean_streak, config.probation_passes, i
+                    );
+                    quarantined = false;
+                    clean_streak = 0;
+                }
+                Verdict::Quarantine => {
+                    prop_assert!(!quarantined, "double quarantine at probe {}", i);
+                    quarantined = true;
+                    clean_streak = 0;
+                }
+                Verdict::None => {}
+            }
+            prop_assert_eq!(
+                dog.in_quarantine(7),
+                quarantined,
+                "quarantine state diverged from the model at probe {}", i
+            );
+        }
+    }
+}
